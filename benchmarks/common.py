@@ -1,0 +1,125 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures at CPU scale:
+the architectures keep their shape but shrink, the datasets are the
+synthetic stand-ins, and the tracked-weight budgets are chosen to match the
+paper's *compression ratios* rather than its absolute k values.  Reports
+print the paper's numbers next to the measured ones and are also written to
+``benchmarks/results/``.
+
+Scale knobs live in :data:`SCALE`; setting the environment variable
+``REPRO_BENCH_SCALE=full`` multiplies dataset sizes and epochs toward the
+paper's regime (hours of CPU time).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data import DataLoader, Dataset, synth_cifar, synth_mnist
+from repro.nn import Module
+from repro.optim import ConstantLR, Optimizer, Schedule
+from repro.train import Callback, History, Trainer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizing for the bench harness."""
+
+    mnist_train: int = 1500
+    mnist_test: int = 400
+    cifar_train: int = 800
+    cifar_test: int = 240
+    cifar_size: int = 16
+    mnist_epochs: int = 8
+    cifar_epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.4
+    cifar_lr: float = 0.1
+
+
+def _scale() -> BenchScale:
+    if os.environ.get("REPRO_BENCH_SCALE") == "full":
+        return BenchScale(
+            mnist_train=10_000,
+            mnist_test=2_000,
+            cifar_train=6_000,
+            cifar_test=1_000,
+            cifar_size=32,
+            mnist_epochs=40,
+            cifar_epochs=30,
+        )
+    return BenchScale()
+
+
+SCALE = _scale()
+
+_mnist_cache: dict[tuple, tuple[Dataset, Dataset]] = {}
+_cifar_cache: dict[tuple, tuple[Dataset, Dataset]] = {}
+
+
+def mnist_data(seed: int = 0) -> tuple[Dataset, Dataset]:
+    """Cached bench-scale synthetic MNIST."""
+    key = (SCALE.mnist_train, SCALE.mnist_test, seed)
+    if key not in _mnist_cache:
+        _mnist_cache[key] = synth_mnist(
+            n_train=SCALE.mnist_train, n_test=SCALE.mnist_test, seed=seed
+        )
+    return _mnist_cache[key]
+
+
+def cifar_data(seed: int = 0) -> tuple[Dataset, Dataset]:
+    """Cached bench-scale synthetic CIFAR."""
+    key = (SCALE.cifar_train, SCALE.cifar_test, SCALE.cifar_size, seed)
+    if key not in _cifar_cache:
+        _cifar_cache[key] = synth_cifar(
+            n_train=SCALE.cifar_train,
+            n_test=SCALE.cifar_test,
+            seed=seed,
+            size=SCALE.cifar_size,
+        )
+    return _cifar_cache[key]
+
+
+def train_run(
+    model: Module,
+    optimizer: Optimizer,
+    data: tuple[Dataset, Dataset],
+    epochs: int,
+    lr: float | None = None,
+    schedule: Schedule | None = None,
+    callbacks: list[Callback] | None = None,
+    loss_fn=None,
+    batch_size: int | None = None,
+    patience: int | None = None,
+) -> History:
+    """Run one training configuration and return its history."""
+    train, test = data
+    lr = lr if lr is not None else optimizer.lr
+    trainer = Trainer(
+        model,
+        optimizer,
+        loss_fn=loss_fn,
+        schedule=schedule or ConstantLR(lr),
+        callbacks=callbacks,
+        patience=patience,
+    )
+    loader = DataLoader(train, batch_size or SCALE.batch_size, seed=0)
+    return trainer.fit(loader, test, epochs=epochs)
+
+
+def budget_for_ratio(model: Module, compression: float) -> int:
+    """Tracked-weight budget k giving the requested compression ratio."""
+    return max(1, int(round(model.num_parameters() / compression)))
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/."""
+    print(f"\n===== {name} =====")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,6 @@
+"""Benchmarks are standalone: make `benchmarks/` importable as scripts."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

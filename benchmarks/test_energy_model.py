@@ -1,0 +1,93 @@
+"""Energy claims (paper Sections 1, 2.1, 6).
+
+* a DRAM access costs over 700x a float op at 45 nm (640 pJ vs 0.9 pJ);
+* regenerating an init value (6 int + 1 float op ~ 1.5 pJ) costs 427x less
+  than fetching it from DRAM;
+* during training, DropBack's weight-memory energy shrinks roughly with
+  the compression ratio, because untracked weights are regenerated
+  on-chip instead of stored and fetched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DropBack
+from repro.energy import EnergyModel
+from repro.models import mnist_100_100
+from repro.optim import SGD
+from repro.utils import format_ratio, format_table
+
+from common import SCALE, budget_for_ratio, emit_report, mnist_data, train_run
+
+
+@pytest.fixture(scope="module")
+def energy_results():
+    data = mnist_data()
+    em = EnergyModel()
+    epochs = max(2, SCALE.mnist_epochs // 2)
+
+    base = mnist_100_100().finalize(42)
+    sgd = SGD(base, lr=SCALE.lr)
+    train_run(base, sgd, data, epochs=epochs, lr=SCALE.lr)
+
+    rows = []
+    for ratio in (2.0, 5.0, 20.0, 60.0):
+        model = mnist_100_100().finalize(42)
+        opt = DropBack(model, k=budget_for_ratio(model, ratio), lr=SCALE.lr)
+        train_run(model, opt, data, epochs=epochs, lr=SCALE.lr)
+        rep = em.report(opt.counter)
+        rows.append(
+            {
+                "ratio": ratio,
+                "energy_ratio": em.training_energy_ratio(sgd.counter, opt.counter),
+                "regen_share": rep.regen_pj / rep.total_pj,
+            }
+        )
+    return em, em.report(sgd.counter), rows
+
+
+def test_energy_report(energy_results, benchmark):
+    em, base_rep, rows = energy_results
+    lines = [
+        "Energy model (45 nm constants, paper Sections 1 & 2.1)",
+        f"DRAM access vs float op: {em.dram_vs_flop_ratio:.0f}x   (paper: >700x)",
+        f"regen cost per value:    {em.regen_pj_per_value:.2f} pJ (paper: ~1.5 pJ)",
+        f"DRAM access vs regen:    {em.regen_vs_dram_ratio:.0f}x   (paper: 427x)",
+        "",
+        "Training weight-memory energy, baseline SGD vs DropBack:",
+        format_table(
+            ["weight compression", "energy reduction", "regen share of total"],
+            [
+                [format_ratio(r["ratio"]), format_ratio(r["energy_ratio"]), f"{r['regen_share']:.2%}"]
+                for r in rows
+            ],
+        ),
+        "",
+        f"baseline per-run weight-memory energy: {base_rep.total_uj:.1f} uJ",
+    ]
+    emit_report("energy_model", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: EnergyModel().report(_dummy_counter()), rounds=3, iterations=1
+    )
+
+
+def _dummy_counter():
+    from repro.optim.base import AccessCounter
+
+    return AccessCounter(weight_reads=10_000, weight_writes=10_000, regenerations=10_000)
+
+
+def test_energy_shape_claims(energy_results, benchmark):
+    em, _, rows = energy_results
+    assert em.dram_vs_flop_ratio > 700
+    assert em.regen_vs_dram_ratio == pytest.approx(427, abs=1)
+    # Energy reduction grows with compression and roughly tracks it.
+    ratios = [r["energy_ratio"] for r in rows]
+    assert ratios == sorted(ratios)
+    for r in rows:
+        assert r["energy_ratio"] > 0.5 * r["ratio"]
+        # Regeneration overhead stays a small share of the remaining energy.
+        assert r["regen_share"] < 0.25
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Extension — DropBack x quantization (paper Section 5).
+
+"Quantization is orthogonal to DropBack, and the two techniques can be
+combined."  This bench trains MNIST-100-100 with DropBack at a fixed count
+budget while sweeping the storage precision of the tracked weights, and
+reports the combined compression (count x bits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DropBack
+from repro.models import mnist_100_100
+from repro.quant import QuantizedDropBack
+from repro.utils import format_percent, format_ratio, format_table
+
+from common import SCALE, budget_for_ratio, emit_report, mnist_data, train_run
+
+COUNT_RATIO = 4.5
+BITS = (32, 16, 8, 4)
+
+
+@pytest.fixture(scope="module")
+def quant_results():
+    data = mnist_data()
+    rows = []
+    for bits in BITS:
+        model = mnist_100_100().finalize(42)
+        k = budget_for_ratio(model, COUNT_RATIO)
+        if bits == 32:
+            opt = DropBack(model, k=k, lr=SCALE.lr)
+            total_comp = opt.compression_ratio
+        else:
+            opt = QuantizedDropBack(model, k=k, lr=SCALE.lr, bits=bits)
+            total_comp = opt.total_compression
+        hist = train_run(model, opt, data, epochs=SCALE.mnist_epochs, lr=SCALE.lr)
+        rows.append(
+            {
+                "bits": bits,
+                "error": hist.best_val_error,
+                "count_comp": COUNT_RATIO,
+                "total_comp": total_comp,
+            }
+        )
+    return rows
+
+
+def test_ext_quantization_report(quant_results, benchmark):
+    table = format_table(
+        ["tracked-weight bits", "val error", "count compression", "total compression"],
+        [
+            [
+                r["bits"],
+                format_percent(r["error"]),
+                format_ratio(r["count_comp"]),
+                format_ratio(r["total_comp"]),
+            ]
+            for r in quant_results
+        ],
+    )
+    emit_report(
+        "ext_quantization",
+        "DropBack + quantized tracked-weight storage (paper Section 5)\n" + table,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ext_quantization_claims(quant_results, benchmark):
+    by_bits = {r["bits"]: r for r in quant_results}
+    # 8-bit storage holds accuracy within a few points of float32 while
+    # quadrupling the total compression.
+    assert by_bits[8]["error"] < by_bits[32]["error"] + 0.06
+    assert by_bits[8]["total_comp"] == pytest.approx(COUNT_RATIO * 4.0, rel=1e-3)
+    # 4-bit is where degradation is allowed to show.
+    assert by_bits[4]["error"] >= by_bits[32]["error"] - 0.02
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

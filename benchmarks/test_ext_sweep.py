@@ -1,0 +1,57 @@
+"""Extension — the full compression/accuracy tradeoff curve.
+
+Table 1 samples a few budgets; this bench sweeps MNIST-100-100 across a
+compression grid and reports the knee — the largest "free" compression —
+which the paper's narrative places around 4.5x-13x for the MNIST MLPs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compression_sweep, find_knee
+from repro.models import mnist_100_100
+from repro.utils import format_percent, format_ratio, format_table
+
+from common import SCALE, emit_report, mnist_data
+
+RATIOS = (1.5, 3.0, 6.0, 12.0, 25.0, 50.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    return compression_sweep(
+        mnist_100_100,
+        mnist_data(),
+        ratios=RATIOS,
+        epochs=SCALE.mnist_epochs,
+        lr=SCALE.lr,
+    )
+
+
+def test_ext_sweep_report(sweep_points, benchmark):
+    knee = find_knee(sweep_points, tolerance=0.02)
+    table = format_table(
+        ["compression", "budget k", "val error", "best epoch"],
+        [
+            [format_ratio(p.compression), f"{p.k:,}", format_percent(p.val_error), p.best_epoch]
+            for p in sweep_points
+        ],
+    )
+    emit_report(
+        "ext_compression_sweep",
+        "DropBack compression/accuracy tradeoff on MNIST-100-100\n"
+        + table
+        + f"\n\nknee (within 2% of best error): {format_ratio(knee.compression)}",
+    )
+    benchmark.pedantic(lambda: find_knee(sweep_points), rounds=5, iterations=1)
+
+
+def test_ext_sweep_claims(sweep_points, benchmark):
+    # Error is (noisily) non-decreasing with compression: the extreme end
+    # must be clearly worse than the mild end.
+    assert sweep_points[-1].val_error > sweep_points[0].val_error
+    # A multi-x free-compression region exists (paper: 4.5x with no loss).
+    knee = find_knee(sweep_points, tolerance=0.02)
+    assert knee.compression >= 3.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Figure 4 — VGG-S on CIFAR-10: convergence of DropBack vs VD vs baseline.
+
+The paper plots validation accuracy per epoch for the baseline, DropBack at
+5M tracked parameters (3x), and variational dropout: DropBack initially
+learns slightly more slowly than baseline but matches it after ~20 epochs,
+while VD learns quickly at first and converges to a substantially lower
+accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DropBack
+from repro.models import vgg_s
+from repro.optim import SGD
+from repro.prune import make_variational, vd_loss_fn
+from repro.utils import ascii_series, format_table
+
+from common import SCALE, budget_for_ratio, cifar_data, emit_report, train_run
+
+COMPRESSION = 3.0  # the paper's DropBack 5M configuration
+
+
+def _vgg_small():
+    return vgg_s(fc_width=64, config=(16, "M", 32, "M", 64, 64, "M", 128, 128, "M"))
+
+
+@pytest.fixture(scope="module")
+def curves():
+    data = cifar_data()
+    n_train = len(data[0])
+    lr = SCALE.cifar_lr
+    epochs = SCALE.cifar_epochs + 2  # convergence plot benefits from a tail
+
+    base = _vgg_small().finalize(42)
+    h_base = train_run(base, SGD(base, lr=lr), data, epochs=epochs, lr=lr, batch_size=32)
+
+    db = _vgg_small().finalize(42)
+    opt = DropBack(db, k=budget_for_ratio(db, COMPRESSION), lr=lr)
+    h_db = train_run(db, opt, data, epochs=epochs, lr=lr, batch_size=32)
+
+    # VD needs technique-specific hyperparameters to converge on VGG-S
+    # (same settings as the Table 3 bench).
+    vd = make_variational(_vgg_small()).finalize(42)
+    steps_per_epoch = max(1, n_train // 32)
+    vd_lr, klw = 0.05, 0.2
+    loss_fn = vd_loss_fn(vd, n_train=n_train, kl_weight=klw, warmup_steps=2 * steps_per_epoch)
+    h_vd = train_run(
+        vd, SGD(vd, lr=vd_lr), data, epochs=epochs, lr=vd_lr, batch_size=32, loss_fn=loss_fn
+    )
+    return h_base, h_db, h_vd
+
+
+def test_fig4_report(curves, benchmark):
+    h_base, h_db, h_vd = curves
+    rows = [
+        [e, f"{b:.3f}", f"{d:.3f}", f"{v:.3f}"]
+        for e, (b, d, v) in enumerate(
+            zip(h_base.val_accuracy, h_db.val_accuracy, h_vd.val_accuracy)
+        )
+    ]
+    lines = [
+        "VGG-S validation accuracy per epoch (paper Fig. 4)",
+        format_table(["epoch", "baseline", f"DropBack {COMPRESSION:.0f}x", "VD"], rows),
+        "",
+        ascii_series(h_db.val_accuracy, width=40, height=8, label="dropback"),
+        "",
+        f"best: baseline {h_base.best_val_accuracy:.3f}, "
+        f"dropback {h_db.best_val_accuracy:.3f}, vd {h_vd.best_val_accuracy:.3f}",
+    ]
+    emit_report("fig4_convergence_cifar", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig4_shape_claims(curves, benchmark):
+    h_base, h_db, h_vd = curves
+    # DropBack converges to near-baseline accuracy...
+    assert h_db.best_val_accuracy > h_base.best_val_accuracy - 0.08
+    # ...while VD converges substantially below both (paper Fig. 4).
+    assert h_vd.best_val_accuracy < h_db.best_val_accuracy
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""Figure 5 — weight-diffusion (l2) distance vs log training time.
+
+The paper measures ``||w_t - w_0||`` on MNIST-100-100 for five regimes:
+baseline SGD, DropBack 2k, DropBack 10k, magnitude pruning .75, and sparse
+variational dropout.  The claims:
+
+* DropBack's curve hugs the baseline's (its selection preserves the
+  ultra-slow diffusion profile of Hoffer et al. 2017);
+* magnitude pruning *starts* at a large distance (zeroing initialization
+  weights is itself a huge jump) and trains poorly;
+* variational dropout diffuses much faster than baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DiffusionTracker, log_diffusion_fit
+from repro.core import DropBack
+from repro.models import mnist_100_100
+from repro.optim import SGD
+from repro.prune import MagnitudePruning, make_variational, vd_loss_fn
+from repro.utils import format_table
+
+from common import SCALE, emit_report, mnist_data, train_run
+
+
+@pytest.fixture(scope="module")
+def diffusion_runs():
+    data = mnist_data()
+    n_train = len(data[0])
+    out = {}
+
+    def run(name, model, opt, loss_fn=None, lr=SCALE.lr):
+        tracker = DiffusionTracker(log_spaced=True)
+        hist = train_run(
+            model,
+            opt,
+            data,
+            epochs=max(3, SCALE.mnist_epochs // 2),
+            lr=lr,
+            callbacks=[tracker],
+            loss_fn=loss_fn,
+        )
+        steps, dist = tracker.series()
+        out[name] = {"steps": steps, "dist": dist, "acc": hist.best_val_accuracy}
+
+    m = mnist_100_100().finalize(42)
+    run("Baseline", m, SGD(m, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("DropBack 2k", m, DropBack(m, k=2_000, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("DropBack 10k", m, DropBack(m, k=10_000, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("Magnitude .75", m, MagnitudePruning(m, lr=SCALE.lr, prune_fraction=0.75))
+
+    m = make_variational(mnist_100_100()).finalize(42)
+    run(
+        "VD Sparse",
+        m,
+        SGD(m, lr=SCALE.lr / 4),
+        loss_fn=vd_loss_fn(m, n_train=n_train, kl_weight=1.0),
+        lr=SCALE.lr / 4,
+    )
+    return out
+
+
+def test_fig5_report(diffusion_runs, benchmark):
+    rows = []
+    for name, rec in diffusion_runs.items():
+        d = rec["dist"]
+        slope, _ = log_diffusion_fit(rec["steps"], d)
+        rows.append(
+            [
+                name,
+                f"{d[1]:.2f}",
+                f"{d[len(d) // 2]:.2f}",
+                f"{d[-1]:.2f}",
+                f"{slope:.2f}",
+                f"{rec['acc']:.3f}",
+            ]
+        )
+    table = format_table(
+        ["regime", "dist @ first step", "dist @ mid", "dist @ end", "log-t slope", "val acc"],
+        rows,
+    )
+    emit_report("fig5_diffusion", "l2 diffusion distance vs log time (paper Fig. 5)\n" + table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig5_shape_claims(diffusion_runs, benchmark):
+    base = diffusion_runs["Baseline"]["dist"]
+    db10 = diffusion_runs["DropBack 10k"]["dist"]
+    mag = diffusion_runs["Magnitude .75"]["dist"]
+    vd = diffusion_runs["VD Sparse"]["dist"]
+
+    # DropBack hugs the baseline curve (within ~35% at the end).
+    assert abs(db10[-1] - base[-1]) < 0.35 * base[-1]
+    # Magnitude pruning starts with a huge jump (zeroed init weights).
+    assert mag[1] > 3 * base[1]
+    # VD diffuses faster than baseline (extra noise degrees of freedom).
+    assert vd[-1] > base[-1]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

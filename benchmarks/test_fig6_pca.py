@@ -1,0 +1,121 @@
+"""Figure 6 — PCA projection of weight-space trajectories.
+
+The paper projects the weight evolution of the five MNIST-100-100 training
+regimes into 3-D with PCA: DropBack's trajectory stays close to the
+baseline's path, while magnitude pruning and variational dropout diverge
+significantly.  "If we imagine the training path of the baseline
+uncompressed configuration to be optimal, DropBack results in a
+near-optimal evolution."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import project_trajectories, trajectory_divergence
+from repro.core import DropBack
+from repro.models import mnist_100_100
+from repro.optim import SGD
+from repro.prune import MagnitudePruning, make_variational, vd_loss_fn
+from repro.train import WeightSnapshotCallback
+from repro.utils import format_table
+
+from common import SCALE, emit_report, mnist_data, train_run
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    data = mnist_data()
+    n_train = len(data[0])
+    trajs = {}
+
+    def run(name, model, opt, loss_fn=None, lr=SCALE.lr, weights_of=None):
+        snap = WeightSnapshotCallback(log_spaced=True, max_snapshots=40)
+        if weights_of is not None:
+            # For VD, snapshot only the mean weights (comparable dimension).
+            snap._flat_weights = weights_of  # type: ignore[method-assign]
+        train_run(
+            model,
+            opt,
+            data,
+            epochs=max(3, SCALE.mnist_epochs // 2),
+            lr=lr,
+            callbacks=[snap],
+            loss_fn=loss_fn,
+        )
+        _, mat = snap.stacked()
+        trajs[name] = mat
+
+    m = mnist_100_100().finalize(42)
+    run("Baseline", m, SGD(m, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("DropBack 2k", m, DropBack(m, k=2_000, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("DropBack 10k", m, DropBack(m, k=10_000, lr=SCALE.lr))
+
+    m = mnist_100_100().finalize(42)
+    run("Magnitude .75", m, MagnitudePruning(m, lr=SCALE.lr, prune_fraction=0.75))
+
+    vd_model = make_variational(mnist_100_100()).finalize(42)
+    base_names = {name for name, _ in mnist_100_100().named_parameters()}
+
+    def vd_weights(trainer):
+        return np.concatenate(
+            [
+                p.data.reshape(-1)
+                for name, p in trainer.model.named_parameters()
+                if "log_sigma2" not in name
+            ]
+        )
+
+    run(
+        "VD Sparse",
+        vd_model,
+        SGD(vd_model, lr=SCALE.lr / 4),
+        loss_fn=vd_loss_fn(vd_model, n_train=n_train, kl_weight=1.0),
+        lr=SCALE.lr / 4,
+        weights_of=vd_weights,
+    )
+    return trajs
+
+
+def test_fig6_report(trajectories, benchmark):
+    projected = project_trajectories(trajectories, n_components=3)
+    base = projected["Baseline"]
+    rows = []
+    for name, traj in projected.items():
+        rows.append(
+            [
+                name,
+                f"{trajectory_divergence(base, traj):.3f}",
+                f"({traj[-1][0]:+.2f}, {traj[-1][1]:+.2f}, {traj[-1][2]:+.2f})",
+            ]
+        )
+    table = format_table(["regime", "divergence from baseline path", "PCA endpoint"], rows)
+    emit_report(
+        "fig6_pca",
+        "PCA-projected weight trajectories (paper Fig. 6)\n"
+        + table
+        + "\n\n(divergence = mean 3-D distance to the baseline trajectory)",
+    )
+
+    benchmark.pedantic(
+        lambda: project_trajectories(trajectories, n_components=3),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig6_shape_claims(trajectories, benchmark):
+    projected = project_trajectories(trajectories, n_components=3)
+    base = projected["Baseline"]
+    div = {n: trajectory_divergence(base, t) for n, t in projected.items() if n != "Baseline"}
+    # DropBack trajectories stay closer to the baseline path than both
+    # magnitude pruning and variational dropout (paper Fig. 6).
+    assert div["DropBack 10k"] < div["Magnitude .75"]
+    assert div["DropBack 10k"] < div["VD Sparse"]
+    assert div["DropBack 2k"] < div["VD Sparse"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

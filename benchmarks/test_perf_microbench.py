@@ -1,0 +1,116 @@
+"""Performance microbenchmarks of the core kernels.
+
+Quantifies the *software* cost of DropBack relative to plain SGD — the
+per-step selection/regeneration overhead — plus the throughput of the
+primitives everything rests on: convolution, xorshift regeneration, and
+top-k selection.  These are the numbers a user cares about before adopting
+the optimizer, and the benches pytest-benchmark is built for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack
+from repro.init import normal_at
+from repro.core.selection import top_k_mask
+from repro.models import mnist_100_100, wrn_10_2
+from repro.optim import SGD
+from repro.tensor import Tensor, conv2d, cross_entropy
+
+
+@pytest.fixture(scope="module")
+def mlp_batch():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(64, 784)).astype(np.float32))
+    y = rng.integers(0, 10, size=64)
+    return x, y
+
+
+def _train_step(model, opt, x, y):
+    model.zero_grad()
+    cross_entropy(model(x), y).backward()
+    opt.step()
+
+
+def test_perf_sgd_step(benchmark, mlp_batch):
+    x, y = mlp_batch
+    model = mnist_100_100().finalize(1)
+    opt = SGD(model, lr=0.4)
+    benchmark.pedantic(lambda: _train_step(model, opt, x, y), rounds=10, iterations=1,
+                       warmup_rounds=2)
+
+
+def test_perf_dropback_step(benchmark, mlp_batch):
+    x, y = mlp_batch
+    model = mnist_100_100().finalize(1)
+    opt = DropBack(model, k=9_000, lr=0.4)
+    benchmark.pedantic(lambda: _train_step(model, opt, x, y), rounds=10, iterations=1,
+                       warmup_rounds=2)
+
+
+def test_perf_dropback_step_frozen(benchmark, mlp_batch):
+    x, y = mlp_batch
+    model = mnist_100_100().finalize(1)
+    opt = DropBack(model, k=9_000, lr=0.4)
+    _train_step(model, opt, x, y)
+    opt.freeze()
+    benchmark.pedantic(lambda: _train_step(model, opt, x, y), rounds=10, iterations=1,
+                       warmup_rounds=2)
+
+
+def test_perf_conv_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(16, 16, 16, 16)).astype(np.float32))
+    w = Tensor(rng.normal(size=(32, 16, 3, 3)).astype(np.float32))
+    benchmark.pedantic(lambda: conv2d(x, w, None, stride=1, pad=1), rounds=10,
+                       iterations=1, warmup_rounds=2)
+
+
+def test_perf_conv_backward(benchmark):
+    rng = np.random.default_rng(0)
+
+    def fwd_bwd():
+        x = Tensor(rng.normal(size=(16, 16, 16, 16)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(32, 16, 3, 3)).astype(np.float32), requires_grad=True)
+        (conv2d(x, w, None, stride=1, pad=1) ** 2).sum().backward()
+
+    benchmark.pedantic(fwd_bwd, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_perf_xorshift_regeneration(benchmark):
+    """Regenerating 1M init values (vectorized stateless xorshift)."""
+    idx = np.arange(1_000_000, dtype=np.int64)
+    result = benchmark.pedantic(lambda: normal_at(42, idx), rounds=5, iterations=1,
+                                warmup_rounds=1)
+
+
+def test_perf_topk_selection(benchmark):
+    """Top-k over a WRN-10-2-sized score vector (300k weights)."""
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=wrn_10_2().num_parameters())
+    benchmark.pedantic(lambda: top_k_mask(scores, scores.size // 5), rounds=10,
+                       iterations=1, warmup_rounds=2)
+
+
+def test_perf_overhead_summary(mlp_batch, benchmark):
+    """DropBack's software overhead over SGD stays within a small factor."""
+    import time
+
+    x, y = mlp_batch
+
+    def time_steps(opt_factory, n=20):
+        model = mnist_100_100().finalize(1)
+        opt = opt_factory(model)
+        _train_step(model, opt, x, y)  # warm
+        t0 = time.perf_counter()
+        for _ in range(n):
+            _train_step(model, opt, x, y)
+        return (time.perf_counter() - t0) / n
+
+    sgd_t = time_steps(lambda m: SGD(m, lr=0.4))
+    db_t = time_steps(lambda m: DropBack(m, k=9_000, lr=0.4))
+    # The selection adds work, but stays within an order of magnitude.
+    assert db_t < 10 * sgd_t
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,122 @@
+"""Table 1 — MNIST: baseline vs DropBack at three weight budgets.
+
+Paper rows (LeNet-300-100 / MNIST-100-100): DropBack at 50k/20k/1.5k
+retained gradients reaches baseline-level validation error at moderate
+compression and degrades (error roughly doubles) at the extreme budget.
+
+At bench scale we keep the paper's *compression ratios* — for
+MNIST-100-100: 1.8x, 4.5x, 60x; for LeNet-300-100: 5.3x, 13.3x, 178x — and
+report measured error against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack
+from repro.models import lenet_300_100, mnist_100_100
+from repro.optim import SGD
+from repro.tensor import Tensor, cross_entropy
+from repro.utils import format_percent, format_ratio, format_table
+
+from common import SCALE, budget_for_ratio, emit_report, mnist_data, train_run
+
+# (network, factory, [(config, paper_error, compression or None)])
+PAPER = [
+    (
+        "LeNet-300-100",
+        lenet_300_100,
+        [
+            ("Baseline", 0.0141, None),
+            ("DropBack 5.3x", 0.0151, 5.33),
+            ("DropBack 13.3x", 0.0178, 13.33),
+            ("DropBack 178x", 0.0384, 177.74),
+        ],
+    ),
+    (
+        "MNIST-100-100",
+        mnist_100_100,
+        [
+            ("Baseline", 0.0170, None),
+            ("DropBack 1.8x", 0.0158, 1.8),
+            ("DropBack 4.5x", 0.0170, 4.5),
+            ("DropBack 60x", 0.0378, 60.0),
+        ],
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def table1_results():
+    """Run all Table 1 configurations once; return structured records."""
+    data = mnist_data()
+    results: dict[str, list[dict]] = {}
+    for net_name, factory, configs in PAPER:
+        records = []
+        for cfg_name, paper_err, compression in configs:
+            model = factory().finalize(42)
+            if compression is None:
+                opt = SGD(model, lr=SCALE.lr)
+            else:
+                opt = DropBack(model, k=budget_for_ratio(model, compression), lr=SCALE.lr)
+            hist = train_run(model, opt, data, epochs=SCALE.mnist_epochs, lr=SCALE.lr)
+            records.append(
+                {
+                    "config": cfg_name,
+                    "paper_error": paper_err,
+                    "measured_error": hist.best_val_error,
+                    "compression": compression or 1.0,
+                    "best_epoch": hist.best_epoch,
+                }
+            )
+        results[net_name] = records
+    return results
+
+
+def test_table1_report(table1_results, benchmark):
+    sections = []
+    for net_name, records in table1_results.items():
+        rows = [
+            [
+                r["config"],
+                format_percent(r["paper_error"]),
+                format_percent(r["measured_error"]),
+                format_ratio(r["compression"]),
+                r["best_epoch"],
+            ]
+            for r in records
+        ]
+        table = format_table(
+            ["config", "paper err", "measured err", "compression", "best epoch"], rows
+        )
+        sections.append(f"{net_name}\n{table}")
+    emit_report("table1_mnist", "\n\n".join(sections))
+
+    # Benchmark one DropBack training step on MNIST-100-100 at 4.5x.
+    model = mnist_100_100().finalize(1)
+    opt = DropBack(model, k=budget_for_ratio(model, 4.5), lr=SCALE.lr)
+    train, _ = mnist_data()
+    x = Tensor(train.images[:64].reshape(64, -1))
+    y = train.labels[:64]
+
+    def step():
+        model.zero_grad()
+        cross_entropy(model(x), y).backward()
+        opt.step()
+
+    benchmark.pedantic(step, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_table1_shape_claims(table1_results, benchmark):
+    """Qualitative claims: moderate compression ~ baseline, extreme degrades."""
+    for net_name, records in table1_results.items():
+        by_cfg = {r["config"]: r["measured_error"] for r in records}
+        baseline = by_cfg["Baseline"]
+        moderate = min(v for k, v in by_cfg.items() if k != "Baseline")
+        extreme = by_cfg[[k for k in by_cfg if k.endswith(("178x", "60x"))][0]]
+        # Moderate-budget DropBack lands near the baseline...
+        assert moderate <= baseline + 0.05, net_name
+        # ...while the extreme budget is no better than the moderate one.
+        assert extreme >= moderate - 0.01, net_name
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

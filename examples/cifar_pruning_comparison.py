@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare pruning techniques on a CIFAR-style convolutional network.
+
+Reruns a slice of the paper's Table 3 on a wide residual network: dense
+baseline, DropBack, iterative magnitude pruning, variational dropout, and
+network slimming (train -> channel-prune -> retrain), printing error and
+achieved compression for each.
+
+Run:
+    python examples/cifar_pruning_comparison.py [--epochs 4] [--compression 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DataLoader, DropBack, SGD, Trainer
+from repro.data import synth_cifar
+from repro.models import wrn_10_2
+from repro.optim import ConstantLR
+from repro.prune import (
+    MagnitudePruning,
+    SlimmingSGD,
+    make_variational,
+    prune_channels,
+    slimming_compression,
+    vd_loss_fn,
+    vd_sparsity,
+)
+from repro.utils import format_percent, format_ratio, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--compression", type=float, default=5.0)
+    parser.add_argument("--train-size", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    lr = 0.1
+    train, test = synth_cifar(n_train=args.train_size, n_test=args.train_size // 4,
+                              seed=0, size=16)
+    loader_seed = 1
+    rows = []
+
+    def fit(model, opt, loss_fn=None, epochs=None):
+        t = Trainer(model, opt, loss_fn=loss_fn, schedule=ConstantLR(opt.lr))
+        return t.fit(DataLoader(train, 32, seed=loader_seed), test,
+                     epochs=epochs or args.epochs)
+
+    print("baseline ...")
+    m = wrn_10_2().finalize(args.seed)
+    h = fit(m, SGD(m, lr=lr))
+    rows.append(["Baseline", format_percent(h.best_val_error), "1.0x"])
+
+    print("dropback ...")
+    m = wrn_10_2().finalize(args.seed)
+    k = max(1, int(m.num_parameters() / args.compression))
+    opt = DropBack(m, k=k, lr=lr)
+    h = fit(m, opt)
+    rows.append(["DropBack", format_percent(h.best_val_error),
+                 format_ratio(opt.compression_ratio)])
+
+    print("magnitude pruning ...")
+    m = wrn_10_2().finalize(args.seed)
+    opt = MagnitudePruning(m, lr=lr, prune_fraction=1.0 - 1.0 / args.compression)
+    h = fit(m, opt)
+    rows.append(["Magnitude", format_percent(h.best_val_error),
+                 format_ratio(opt.compression_ratio)])
+
+    print("variational dropout ...")
+    m = make_variational(wrn_10_2()).finalize(args.seed)
+    loss_fn = vd_loss_fn(m, n_train=len(train), kl_weight=0.5,
+                         warmup_steps=2 * (len(train) // 32))
+    h = fit(m, SGD(m, lr=lr / 2), loss_fn=loss_fn)
+    comp = 1.0 / max(1e-6, 1.0 - vd_sparsity(m))
+    rows.append(["Var. Dropout", format_percent(h.best_val_error), format_ratio(comp)])
+
+    print("network slimming (train -> prune -> retrain) ...")
+    m = wrn_10_2().finalize(args.seed)
+    fit(m, SlimmingSGD(m, lr=lr, l1=1e-3))
+    prune_channels(m, 0.5)
+    h = fit(m, SGD(m, lr=lr / 2), epochs=max(2, args.epochs // 2))
+    rows.append(["Slimming", format_percent(h.best_val_error),
+                 format_ratio(slimming_compression(m))])
+
+    print("\n" + format_table(["technique", "val error", "weight compression"], rows))
+    print("\nExpected shape (paper Table 3): DropBack holds accuracy at ~5x on "
+          "residual nets; magnitude and slimming degrade them more; variational "
+          "dropout is the least stable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Map the full compression/accuracy tradeoff curve for a model.
+
+Sweeps DropBack across a grid of weight-budget ratios on synthetic MNIST,
+prints the curve, and reports the "knee" — the largest compression whose
+error stays within a tolerance of the best run.  The paper samples this
+curve at 3 budgets per model (Table 1); the sweep shows where the free
+compression actually ends.
+
+Run:
+    python examples/compression_sweep.py [--epochs 6] [--tolerance 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import compression_sweep, find_knee
+from repro.data import synth_mnist
+from repro.models import mnist_100_100
+from repro.utils import ascii_series, format_percent, format_ratio, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--train-size", type=int, default=1500)
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed error increase over the best run")
+    parser.add_argument(
+        "--ratios", type=float, nargs="+",
+        default=[1.5, 3, 6, 12, 25, 50, 100, 200],
+    )
+    args = parser.parse_args()
+
+    data = synth_mnist(n_train=args.train_size, n_test=args.train_size // 4, seed=0)
+    print(f"sweeping {len(args.ratios)} budgets x {args.epochs} epochs "
+          f"on MNIST-100-100 ...")
+    points = compression_sweep(
+        mnist_100_100, data, ratios=args.ratios, epochs=args.epochs
+    )
+
+    print(format_table(
+        ["compression", "budget k", "val error", "best epoch"],
+        [
+            [format_ratio(p.compression), f"{p.k:,}", format_percent(p.val_error), p.best_epoch]
+            for p in points
+        ],
+    ))
+    print()
+    print(ascii_series([p.val_error for p in points], width=len(points) * 6,
+                       height=10, label="error vs compression (left=1.5x)"))
+
+    knee = find_knee(points, tolerance=args.tolerance)
+    print(f"\nknee (within {format_percent(args.tolerance)} of best): "
+          f"{format_ratio(knee.compression)} — {knee.k:,} weights, "
+          f"{format_percent(knee.val_error)} error")
+
+
+if __name__ == "__main__":
+    main()

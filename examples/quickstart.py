@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: train an MLP on synthetic MNIST with DropBack.
+
+Trains LeNet-300-100 twice — once with plain SGD (the dense baseline) and
+once with DropBack tracking only a fraction of the weights — then compares
+validation error, weight compression, and checkpoint sizes, and round-trips
+the sparse checkpoint to show that untracked weights really are regenerated
+rather than stored.
+
+Run:
+    python examples/quickstart.py [--budget 20000] [--epochs 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro import DataLoader, DropBack, SGD, Trainer, evaluate
+from repro.data import synth_mnist
+from repro.io import compression_report, load_sparse, save_sparse
+from repro.models import lenet_300_100
+from repro.optim import BoundedStepDecay
+from repro.utils import format_percent, format_ratio
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=20_000, help="tracked-weight budget k")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--train-size", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print("Generating synthetic MNIST ...")
+    train, test = synth_mnist(n_train=args.train_size, n_test=args.train_size // 4, seed=0)
+    schedule = BoundedStepDecay(0.4, factor=0.5, period=max(2, args.epochs // 4))
+
+    print("\n[1/2] Dense baseline (plain SGD)")
+    baseline = lenet_300_100().finalize(args.seed)
+    base_opt = SGD(baseline, lr=0.4)
+    base_hist = Trainer(baseline, base_opt, schedule=schedule, patience=5).fit(
+        DataLoader(train, 64, seed=1), test, epochs=args.epochs, verbose=True
+    )
+
+    print(f"\n[2/2] DropBack with k={args.budget} tracked weights")
+    model = lenet_300_100().finalize(args.seed)
+    opt = DropBack(model, k=args.budget, lr=0.4)
+    hist = Trainer(model, opt, schedule=schedule, patience=5).fit(
+        DataLoader(train, 64, seed=1), test, epochs=args.epochs, verbose=True
+    )
+
+    print("\n--- results ---")
+    print(f"baseline error:  {format_percent(base_hist.best_val_error)} (dense, "
+          f"{baseline.num_parameters():,} weights stored)")
+    print(f"dropback error:  {format_percent(hist.best_val_error)} "
+          f"({format_ratio(opt.compression_ratio)} weight compression, "
+          f"{opt.storage_floats():,} weights stored)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "dropback.npz")
+        save_sparse(model, opt, path)
+        print(f"\nsparse checkpoint: {os.path.getsize(path):,} bytes on disk")
+        print(f"storage report: {compression_report(model, opt)}")
+
+        restored = load_sparse(lenet_300_100(), path)
+        acc = evaluate(restored, test)
+        print(f"restored model accuracy: {acc:.4f} "
+              f"(identical to trained: {abs(acc - hist.best_val_accuracy) < 0.05})")
+
+
+if __name__ == "__main__":
+    main()

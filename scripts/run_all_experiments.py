@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run every registered experiment and write a consolidated report.
+
+Drives the :mod:`repro.experiments` registry end to end, logging every run
+to JSONL and printing a paper-vs-measured summary table — the programmatic
+complement to ``pytest benchmarks/ --benchmark-only``.
+
+Usage:
+    python scripts/run_all_experiments.py [--scale 0.2] [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import list_experiments, run_experiment
+from repro.utils import format_percent, format_ratio, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="dataset-size multiplier (1.0 ~ bench default x5)")
+    parser.add_argument("--out", type=str, default="experiment_results")
+    parser.add_argument("--experiments", nargs="*", default=None,
+                        help="subset of experiments (default: all)")
+    args = parser.parse_args()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    names = args.experiments or list_experiments()
+
+    for name in names:
+        print(f"\n=== {name} (scale={args.scale}) ===")
+        t0 = time.time()
+        results = run_experiment(
+            name, scale=args.scale, log_path=str(out_dir / f"{name}.jsonl")
+        )
+        rows = []
+        for r in results:
+            paper = (
+                format_percent(r.config.paper_error)
+                if r.config.paper_error is not None
+                else "-"
+            )
+            rows.append(
+                [
+                    r.config.name,
+                    r.config.technique,
+                    paper,
+                    format_percent(r.val_error),
+                    format_ratio(r.achieved_compression),
+                    "DIVERGED" if r.diverged else "",
+                ]
+            )
+        table = format_table(
+            ["run", "technique", "paper err", "measured err", "compression", ""], rows
+        )
+        print(table)
+        (out_dir / f"{name}.txt").write_text(table + "\n")
+        print(f"({time.time() - t0:.1f}s; log: {out_dir / (name + '.jsonl')})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""FLOP counting for the model zoo.
+
+The paper's energy analysis treats arithmetic as common between dense and
+DropBack training and focuses on weight traffic.  To put the regeneration
+overhead in context — 7 ops per untracked weight per pass vs the network's
+own arithmetic — this module counts multiply-accumulate FLOPs per forward
+pass, per layer, for the layer types in :mod:`repro.nn`.
+
+Counts follow the usual convention: one multiply-accumulate = 2 FLOPs;
+batch size is excluded (counts are per example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    PReLU,
+    ReLU,
+    Sequential,
+)
+from repro.tensor import conv_out_size
+
+__all__ = ["LayerFlops", "count_flops", "regen_overhead_ratio"]
+
+
+@dataclass
+class LayerFlops:
+    """FLOPs and output shape of one layer application."""
+
+    layer: str
+    flops: int
+    out_shape: tuple[int, ...]
+
+
+def _seq_layers(model: Module):
+    if isinstance(model, Sequential):
+        return list(model)
+    raise TypeError(
+        "count_flops walks Sequential models; wrap custom modules or pass "
+        "their Sequential body"
+    )
+
+
+def count_flops(model: Module, input_shape: tuple[int, ...]) -> list[LayerFlops]:
+    """Per-layer forward FLOPs for a Sequential model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.Sequential` model.
+    input_shape:
+        Single-example input shape, e.g. ``(1, 28, 28)`` or ``(3, 32, 32)``.
+    """
+    shape = tuple(input_shape)
+    out: list[LayerFlops] = []
+    for layer in _seq_layers(model):
+        if isinstance(layer, Conv2d):
+            c, h, w = shape
+            oh = conv_out_size(h, layer.kernel_size, layer.stride, layer.padding)
+            ow = conv_out_size(w, layer.kernel_size, layer.stride, layer.padding)
+            macs = layer.out_channels * oh * ow * c * layer.kernel_size**2
+            flops = 2 * macs + (layer.out_channels * oh * ow if layer.bias is not None else 0)
+            shape = (layer.out_channels, oh, ow)
+        elif isinstance(layer, Linear):
+            flops = 2 * layer.in_features * layer.out_features
+            if layer.bias is not None:
+                flops += layer.out_features
+            shape = (layer.out_features,)
+        elif isinstance(layer, (BatchNorm1d, BatchNorm2d)):
+            n = _numel(shape)
+            flops = 2 * n  # scale + shift per element (stats amortized)
+        elif isinstance(layer, (ReLU, PReLU)):
+            flops = _numel(shape)
+        elif isinstance(layer, MaxPool2d):
+            c, h, w = shape
+            oh = conv_out_size(h, layer.kernel_size, layer.stride, 0)
+            ow = conv_out_size(w, layer.kernel_size, layer.stride, 0)
+            flops = c * oh * ow * layer.kernel_size**2
+            shape = (c, oh, ow)
+        elif isinstance(layer, AvgPool2d):
+            c, h, w = shape
+            oh = conv_out_size(h, layer.kernel_size, layer.stride, 0)
+            ow = conv_out_size(w, layer.kernel_size, layer.stride, 0)
+            flops = c * oh * ow * layer.kernel_size**2
+            shape = (c, oh, ow)
+        elif isinstance(layer, GlobalAvgPool2d):
+            flops = _numel(shape)
+            shape = (shape[0],)
+        elif isinstance(layer, Flatten):
+            flops = 0
+            shape = (_numel(shape),)
+        else:
+            # Dropout/Identity-style layers are free at inference.
+            flops = 0
+        out.append(LayerFlops(layer=repr(layer), flops=flops, out_shape=shape))
+    return out
+
+
+def _numel(shape: tuple[int, ...]) -> int:
+    n = 1
+    for s in shape:
+        n *= s
+    return n
+
+
+def regen_overhead_ratio(
+    model: Module, input_shape: tuple[int, ...], k: int, ops_per_regen: int = 7
+) -> float:
+    """Regeneration ops per forward pass as a fraction of the network FLOPs.
+
+    DropBack regenerates ``total - k`` weights per pass at 7 ops each; this
+    returns that cost divided by the model's own forward FLOPs — typically
+    well under 1 for conv nets, quantifying "the energy needed to compute
+    the gradient is not significant" framing for the regeneration path.
+    """
+    total_flops = sum(lf.flops for lf in count_flops(model, input_shape))
+    if total_flops == 0:
+        raise ValueError("model has zero forward FLOPs")
+    regen_ops = ops_per_regen * max(0, model.num_parameters() - k)
+    return regen_ops / total_flops

@@ -1,0 +1,81 @@
+"""Tracked-set overlap analysis.
+
+Figure 2 shows the tracked set stabilizes *within* a run; a natural
+follow-on question is how consistent the selected set is *across* runs
+(different seeds, different budgets).  High cross-seed overlap would mean
+specific weights matter; in practice the overlap of independently
+initialized runs is near-random — the budget matters, not the identity of
+the weights — which is consistent with the paper's initialization-
+scaffolding story.
+
+:func:`jaccard` / :func:`overlap_coefficient` compare boolean masks;
+:func:`expected_random_overlap` gives the chance baseline;
+:func:`nested_budget_overlap` checks that a smaller budget's selection is
+(mostly) contained in a larger one's on the *same* run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "jaccard",
+    "overlap_coefficient",
+    "expected_random_overlap",
+    "nested_budget_overlap",
+]
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity |A ∩ B| / |A ∪ B| of two boolean masks."""
+    a, b = _check(a, b)
+    union = np.count_nonzero(a | b)
+    if union == 0:
+        return 1.0
+    return np.count_nonzero(a & b) / union
+
+
+def overlap_coefficient(a: np.ndarray, b: np.ndarray) -> float:
+    """Szymkiewicz-Simpson overlap |A ∩ B| / min(|A|, |B|)."""
+    a, b = _check(a, b)
+    denom = min(np.count_nonzero(a), np.count_nonzero(b))
+    if denom == 0:
+        return 1.0
+    return np.count_nonzero(a & b) / denom
+
+
+def expected_random_overlap(n: int, k_a: int, k_b: int) -> float:
+    """Expected |A ∩ B| / min(k) for two independent uniform k-subsets.
+
+    For A of size k_a drawn uniformly from n elements and independent B of
+    size k_b, E|A ∩ B| = k_a·k_b / n; normalized by min(k_a, k_b) this is
+    the chance value :func:`overlap_coefficient` converges to.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not (0 <= k_a <= n and 0 <= k_b <= n):
+        raise ValueError("subset sizes must lie in [0, n]")
+    if min(k_a, k_b) == 0:
+        return 1.0
+    return (k_a * k_b / n) / min(k_a, k_b)
+
+
+def nested_budget_overlap(small_mask: np.ndarray, large_mask: np.ndarray) -> float:
+    """Fraction of the smaller tracked set contained in the larger one.
+
+    For the same run at two budgets k_small < k_large, a selection rule
+    that ranks weights consistently gives values near 1.0.
+    """
+    small, large = _check(small_mask, large_mask)
+    k_small = np.count_nonzero(small)
+    if k_small == 0:
+        return 1.0
+    return np.count_nonzero(small & large) / k_small

@@ -1,0 +1,74 @@
+"""Multi-seed statistics for experiment results.
+
+The paper reports single-run numbers; a reproduction should quantify run-to
+-run variance.  :func:`seed_sweep` repeats a run function across seeds and
+:class:`SeedStats` summarizes the resulting metric (mean, std, min, max,
+and a normal-approximation confidence interval).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SeedStats", "seed_sweep", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single run)."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean (z=1.96 ~ 95%)."""
+        half = z * self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.n})"
+
+
+def seed_sweep(run: Callable[[int], float], seeds: Sequence[int]) -> SeedStats:
+    """Run ``run(seed)`` for each seed and collect the scalar results."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    values = []
+    for seed in seeds:
+        v = float(run(int(seed)))
+        if not math.isfinite(v):
+            raise ValueError(f"run(seed={seed}) returned non-finite value {v}")
+        values.append(v)
+    return SeedStats(tuple(values))
+
+
+def summarize(stats_by_name: dict[str, SeedStats]) -> str:
+    """Multi-line text summary of several metrics."""
+    width = max((len(k) for k in stats_by_name), default=0)
+    return "\n".join(f"{k.ljust(width)}  {v}" for k, v in stats_by_name.items())

@@ -1,0 +1,83 @@
+"""Compression-sweep utilities: error vs weight budget curves.
+
+The paper's tables sample a few budgets per model; downstream users want
+the whole tradeoff curve ("an attractive design point for low-power
+embedded accelerators" — Section 3) plus the knee where accuracy starts to
+fall.  :func:`compression_sweep` runs DropBack across a ratio grid and
+:func:`find_knee` locates the largest compression whose error stays within
+a tolerance of the best observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core import DropBack
+from repro.data import DataLoader, Dataset
+from repro.optim import ConstantLR, Schedule
+from repro.train import Trainer
+
+__all__ = ["SweepPoint", "compression_sweep", "find_knee"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (compression, error) sample of the tradeoff curve."""
+
+    compression: float
+    k: int
+    val_error: float
+    best_epoch: int
+
+
+def compression_sweep(
+    model_factory: Callable,
+    data: tuple[Dataset, Dataset],
+    ratios: Sequence[float],
+    epochs: int,
+    lr: float = 0.4,
+    seed: int = 42,
+    batch_size: int = 64,
+    schedule: Schedule | None = None,
+) -> list[SweepPoint]:
+    """Train DropBack at each compression ratio; return the curve.
+
+    Every run reuses the same model seed and data order so the sweep
+    isolates the budget as the only variable.
+    """
+    if not ratios:
+        raise ValueError("ratios must be non-empty")
+    if any(r < 1.0 for r in ratios):
+        raise ValueError("compression ratios must be >= 1")
+    train, test = data
+    points: list[SweepPoint] = []
+    for ratio in ratios:
+        model = model_factory().finalize(seed)
+        k = max(1, int(round(model.num_parameters() / ratio)))
+        opt = DropBack(model, k=k, lr=lr)
+        trainer = Trainer(model, opt, schedule=schedule or ConstantLR(lr))
+        hist = trainer.fit(DataLoader(train, batch_size, seed=0), test, epochs=epochs)
+        points.append(
+            SweepPoint(
+                compression=model.num_parameters() / k,
+                k=k,
+                val_error=hist.best_val_error,
+                best_epoch=hist.best_epoch,
+            )
+        )
+    return points
+
+
+def find_knee(points: Sequence[SweepPoint], tolerance: float = 0.01) -> SweepPoint:
+    """Largest-compression point whose error is within ``tolerance`` of the
+    best error in the sweep.
+
+    This is the "free compression" knee: beyond it, compression starts
+    costing accuracy.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    best_error = min(p.val_error for p in points)
+    eligible = [p for p in points if p.val_error <= best_error + tolerance]
+    return max(eligible, key=lambda p: p.compression)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List the model zoo with parameter counts and the paper's budgets.
+``train``
+    Train a model on a synthetic dataset with a chosen technique.
+``energy``
+    Print the analytic energy table for a model and budget.
+
+The CLI drives the same public API as the examples; it exists so that the
+headline experiment is one shell command away::
+
+    python -m repro train --model mnist-100-100 --optimizer dropback \\
+        --compression 4.5 --epochs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core import DropBack
+from repro.data import DataLoader, synth_cifar, synth_mnist
+from repro.energy import EnergyModel
+from repro.models import (
+    densenet_2_7m,
+    densenet_tiny,
+    lenet_300_100,
+    mnist_100_100,
+    vgg_s,
+    wrn_10_2,
+    wrn_28_10,
+)
+from repro.optim import SGD, BoundedStepDecay, StepDecay
+from repro.optim.base import AccessCounter
+from repro.prune import DSD, GradualMagnitudePruning, MagnitudePruning
+from repro.quant import QuantizedDropBack
+from repro.train import FreezeCallback, Trainer
+from repro.utils import format_percent, format_ratio, format_table
+
+MODELS: dict[str, tuple[Callable, str]] = {
+    "lenet-300-100": (lenet_300_100, "mnist"),
+    "mnist-100-100": (mnist_100_100, "mnist"),
+    "vgg-s": (vgg_s, "cifar"),
+    "densenet": (densenet_2_7m, "cifar"),
+    "densenet-tiny": (densenet_tiny, "cifar"),
+    "wrn-28-10": (wrn_28_10, "cifar"),
+    "wrn-10-2": (wrn_10_2, "cifar"),
+}
+
+OPTIMIZERS = ("sgd", "dropback", "dropback-q8", "magnitude", "gradual", "dsd")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name, (factory, dataset) in MODELS.items():
+        model = factory()
+        rows.append([name, f"{model.num_parameters():,}", dataset])
+    print(format_table(["model", "parameters", "dataset"], rows))
+    return 0
+
+
+def _build_optimizer(name: str, model, lr: float, compression: float):
+    if name == "sgd":
+        return SGD(model, lr=lr)
+    k = max(1, int(round(model.num_parameters() / compression)))
+    if name == "dropback":
+        return DropBack(model, k=k, lr=lr)
+    if name == "dropback-q8":
+        return QuantizedDropBack(model, k=k, lr=lr, bits=8)
+    if name == "magnitude":
+        return MagnitudePruning(model, lr=lr, prune_fraction=1.0 - 1.0 / compression)
+    if name == "gradual":
+        return GradualMagnitudePruning(model, lr=lr, final_sparsity=1.0 - 1.0 / compression)
+    if name == "dsd":
+        return DSD(model, lr=lr, sparsity=1.0 - 1.0 / compression)
+    raise ValueError(f"unknown optimizer: {name}")
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    factory, dataset_kind = MODELS[args.model]
+    model = factory().finalize(args.seed)
+    print(f"{args.model}: {model.num_parameters():,} parameters")
+
+    if dataset_kind == "mnist":
+        train, test = synth_mnist(n_train=args.train_size, n_test=args.train_size // 4,
+                                  seed=0)
+        schedule = BoundedStepDecay(args.lr, period=max(2, args.epochs // 4))
+    else:
+        train, test = synth_cifar(n_train=args.train_size, n_test=args.train_size // 4,
+                                  seed=0, size=args.image_size)
+        schedule = StepDecay(args.lr, period=max(2, args.epochs // 3))
+
+    opt = _build_optimizer(args.optimizer, model, args.lr, args.compression)
+    callbacks = []
+    if args.freeze_epoch and hasattr(opt, "freeze"):
+        callbacks.append(FreezeCallback(args.freeze_epoch))
+
+    trainer = Trainer(model, opt, schedule=schedule, callbacks=callbacks, patience=args.patience)
+    hist = trainer.fit(
+        DataLoader(train, args.batch_size, seed=1), test, epochs=args.epochs, verbose=True
+    )
+
+    print(f"\nbest validation error: {format_percent(hist.best_val_error)} "
+          f"(epoch {hist.best_epoch})")
+    if hasattr(opt, "compression_ratio"):
+        print(f"weight compression: {format_ratio(opt.compression_ratio)}")
+    if hasattr(opt, "storage_floats"):
+        print(f"training-time weight storage: {opt.storage_floats():,} floats")
+    em = EnergyModel()
+    rep = em.report(opt.counter)
+    print(f"weight-memory energy: {rep.total_uj:.1f} uJ "
+          f"({rep.regen_pj / max(rep.total_pj, 1e-12):.2%} regeneration)")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    factory, _ = MODELS[args.model]
+    model = factory()
+    n = model.num_parameters()
+    em = EnergyModel()
+    k = max(1, int(round(n / args.compression)))
+    dense = em.report(AccessCounter(weight_reads=n * args.steps, weight_writes=n * args.steps,
+                                    steps=args.steps))
+    db = em.report(
+        AccessCounter(
+            weight_reads=k * args.steps,
+            weight_writes=k * args.steps,
+            regenerations=(n - k) * args.steps,
+            steps=args.steps,
+        )
+    )
+    print(format_table(
+        ["", "dense SGD", f"DropBack {format_ratio(n / k)}"],
+        [
+            ["stored weights", f"{n:,}", f"{k:,}"],
+            ["weight energy", f"{dense.total_uj:.0f} uJ", f"{db.total_uj:.0f} uJ"],
+            ["saving", "-", format_ratio(dense.total_pj / db.total_pj)],
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list available models").set_defaults(func=cmd_info)
+
+    p_train = sub.add_parser("train", help="train a model")
+    p_train.add_argument("--model", choices=MODELS, default="mnist-100-100")
+    p_train.add_argument("--optimizer", choices=OPTIMIZERS, default="dropback")
+    p_train.add_argument("--compression", type=float, default=4.5)
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--lr", type=float, default=0.4)
+    p_train.add_argument("--batch-size", type=int, default=64)
+    p_train.add_argument("--train-size", type=int, default=2000)
+    p_train.add_argument("--image-size", type=int, default=16)
+    p_train.add_argument("--freeze-epoch", type=int, default=0)
+    p_train.add_argument("--patience", type=int, default=None)
+    p_train.add_argument("--seed", type=int, default=42)
+    p_train.set_defaults(func=cmd_train)
+
+    p_energy = sub.add_parser("energy", help="analytic energy comparison")
+    p_energy.add_argument("--model", choices=MODELS, default="wrn-28-10")
+    p_energy.add_argument("--compression", type=float, default=4.5)
+    p_energy.add_argument("--steps", type=int, default=1000)
+    p_energy.set_defaults(func=cmd_energy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

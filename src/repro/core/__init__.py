@@ -1,0 +1,14 @@
+"""DropBack — the paper's primary contribution."""
+
+from repro.core.dropback import DropBack
+from repro.core.selection import HeapSelector, Selector, SortSelector, top_k_mask
+from repro.core.variants import UniformBudgetDropBack
+
+__all__ = [
+    "DropBack",
+    "UniformBudgetDropBack",
+    "Selector",
+    "SortSelector",
+    "HeapSelector",
+    "top_k_mask",
+]

@@ -1,0 +1,85 @@
+"""Top-k selection strategies for the tracked-weight set.
+
+Algorithm 1 in the paper sorts all accumulated gradients and keeps the top
+``k`` ("for clarity of exposition"); the practical implementation it
+describes instead maintains "a priority queue of size k, with incoming
+gradients higher than the stored minimum evicting the minimum elements".
+
+Both are provided:
+
+* :class:`SortSelector` — exact top-k via ``numpy.argpartition`` (O(n)).
+  This is the default used in training.
+* :class:`HeapSelector` — a faithful size-k min-heap scan, modelling the
+  hardware priority queue.  Selects the same set as :class:`SortSelector`
+  whenever scores are distinct (tie-breaking differs, as it would in
+  hardware); unit tests assert the equivalence.
+
+Selectors return a boolean mask over the flat score vector.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+
+import numpy as np
+
+__all__ = ["Selector", "SortSelector", "HeapSelector", "top_k_mask"]
+
+
+def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` largest entries of a 1-D score vector."""
+    n = scores.size
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    mask = np.zeros(n, dtype=bool)
+    if k == 0:
+        return mask
+    if k >= n:
+        mask[:] = True
+        return mask
+    idx = np.argpartition(scores, n - k)[n - k :]
+    mask[idx] = True
+    return mask
+
+
+class Selector(abc.ABC):
+    """Strategy object choosing which weights stay tracked."""
+
+    @abc.abstractmethod
+    def select(self, scores: np.ndarray, k: int) -> np.ndarray:
+        """Return a boolean mask with at most ``k`` True entries."""
+
+
+class SortSelector(Selector):
+    """Exact top-k via argpartition (the listing's ``sort``/``λ`` step)."""
+
+    def select(self, scores: np.ndarray, k: int) -> np.ndarray:
+        return top_k_mask(scores, k)
+
+
+class HeapSelector(Selector):
+    """Size-k min-heap scan modelling the paper's hardware priority queue.
+
+    Scans scores in index order keeping the k best seen so far; an incoming
+    score strictly greater than the heap minimum evicts it.  O(n log k),
+    single pass — the access pattern a streaming accelerator would use.
+    """
+
+    def select(self, scores: np.ndarray, k: int) -> np.ndarray:
+        n = scores.size
+        mask = np.zeros(n, dtype=bool)
+        if k <= 0:
+            return mask
+        if k >= n:
+            mask[:] = True
+            return mask
+        heap: list[tuple[float, int]] = []
+        for i, s in enumerate(scores):
+            if len(heap) < k:
+                heapq.heappush(heap, (float(s), i))
+            elif s > heap[0][0]:
+                heapq.heapreplace(heap, (float(s), i))
+        for _, i in heap:
+            mask[i] = True
+        return mask

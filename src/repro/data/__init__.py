@@ -1,0 +1,31 @@
+"""Datasets: loader machinery and synthetic MNIST / CIFAR substitutes."""
+
+from repro.data.dataset import DataLoader, Dataset, train_val_split
+from repro.data.synth_cifar import CIFAR_CLASS_NAMES, render_cifar_class, synth_cifar
+from repro.data.synth_mnist import digit_strokes, render_digits, synth_mnist
+from repro.data.transforms import (
+    AugmentedLoader,
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+)
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "train_val_split",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "AugmentedLoader",
+    "synth_mnist",
+    "render_digits",
+    "digit_strokes",
+    "synth_cifar",
+    "render_cifar_class",
+    "CIFAR_CLASS_NAMES",
+]

@@ -1,0 +1,11 @@
+"""Energy accounting for training-time memory traffic."""
+
+from repro.energy.model import (
+    PJ_DRAM_ACCESS,
+    PJ_FLOAT_OP,
+    PJ_INT_OP,
+    EnergyModel,
+    EnergyReport,
+)
+
+__all__ = ["EnergyModel", "EnergyReport", "PJ_DRAM_ACCESS", "PJ_FLOAT_OP", "PJ_INT_OP"]

@@ -1,0 +1,110 @@
+"""Energy model for training memory traffic (paper Sections 1-2).
+
+The paper's quantitative motivation, all at a 45 nm process node
+(Han et al., 2016):
+
+* a 32-bit DRAM access costs **640 pJ**;
+* a 32-bit floating-point operation costs **0.9 pJ** (so DRAM is ~700x);
+* regenerating one initialization value via xorshift takes six 32-bit
+  integer ops and one float op, about **1.5 pJ** — "427x less energy than a
+  single off-chip memory access".
+
+:class:`EnergyModel` turns an optimizer's :class:`~repro.optim.AccessCounter`
+into energy estimates, reproducing those headline ratios and the
+training-time energy comparison between baseline SGD and DropBack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.init import REGEN_FLOAT_OPS, REGEN_INT_OPS
+from repro.optim.base import AccessCounter
+
+__all__ = ["EnergyModel", "EnergyReport", "PJ_DRAM_ACCESS", "PJ_FLOAT_OP", "PJ_INT_OP"]
+
+#: 45 nm energy constants (picojoules), Han et al. 2016 via the paper.
+PJ_DRAM_ACCESS = 640.0
+PJ_FLOAT_OP = 0.9
+#: 32-bit integer ALU op at 45 nm (Horowitz 2014 ballpark, used for xorshift).
+PJ_INT_OP = 0.1
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown for a training run (picojoules)."""
+
+    dram_pj: float
+    regen_pj: float
+    steps: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.regen_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    def __str__(self) -> str:
+        return (
+            f"EnergyReport(dram={self.dram_pj:.3e} pJ, regen={self.regen_pj:.3e} pJ, "
+            f"total={self.total_pj:.3e} pJ over {self.steps} steps)"
+        )
+
+
+class EnergyModel:
+    """Convert access counts into energy estimates.
+
+    Parameters
+    ----------
+    pj_dram, pj_float, pj_int:
+        Per-event energies; defaults are the paper's 45 nm numbers.
+    """
+
+    def __init__(
+        self,
+        pj_dram: float = PJ_DRAM_ACCESS,
+        pj_float: float = PJ_FLOAT_OP,
+        pj_int: float = PJ_INT_OP,
+    ):
+        if min(pj_dram, pj_float, pj_int) < 0:
+            raise ValueError("energies must be non-negative")
+        self.pj_dram = float(pj_dram)
+        self.pj_float = float(pj_float)
+        self.pj_int = float(pj_int)
+
+    @property
+    def regen_pj_per_value(self) -> float:
+        """Energy to regenerate one init value (6 int ops + 1 float op)."""
+        return REGEN_INT_OPS * self.pj_int + REGEN_FLOAT_OPS * self.pj_float
+
+    @property
+    def regen_vs_dram_ratio(self) -> float:
+        """How many times cheaper regeneration is than a DRAM access.
+
+        The paper quotes 427x (with 1.5 pJ per regen); with the defaults
+        here it is 640 / 1.5 ≈ 427.
+        """
+        return self.pj_dram / self.regen_pj_per_value
+
+    @property
+    def dram_vs_flop_ratio(self) -> float:
+        """DRAM access vs. float op (paper: "over 700x")."""
+        return self.pj_dram / self.pj_float
+
+    def report(self, counter: AccessCounter) -> EnergyReport:
+        """Energy estimate for the traffic recorded by an optimizer."""
+        dram = counter.total_accesses * self.pj_dram
+        regen = counter.regenerations * self.regen_pj_per_value
+        return EnergyReport(dram_pj=dram, regen_pj=regen, steps=counter.steps)
+
+    def training_energy_ratio(
+        self, baseline: AccessCounter, pruned: AccessCounter
+    ) -> float:
+        """Baseline-vs-pruned weight-memory energy ratio for a training run."""
+        b = self.report(baseline).total_pj
+        p = self.report(pruned).total_pj
+        if p == 0:
+            raise ValueError("pruned run recorded no energy")
+        return b / p

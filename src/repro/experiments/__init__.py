@@ -1,0 +1,19 @@
+"""Declarative experiment registry and runner."""
+
+from repro.experiments.configs import (
+    EXPERIMENTS,
+    RunConfig,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.runner import RunResult, run_config, run_experiment
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_config",
+    "run_experiment",
+]

@@ -1,0 +1,170 @@
+"""Declarative experiment configurations.
+
+Each row of the paper's tables is a :class:`RunConfig`; a named experiment
+(``"table1"``, ``"fig5"``, ...) is a list of them.  The runner in
+:mod:`repro.experiments.runner` executes configs and logs results, giving a
+programmatic counterpart to the bench harness::
+
+    from repro.experiments import get_experiment, run_config
+    for cfg in get_experiment("table1"):
+        result = run_config(cfg, scale=0.2)
+
+Configs are plain dataclasses so they serialize cleanly into the JSONL
+experiment log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Literal
+
+__all__ = ["RunConfig", "get_experiment", "list_experiments", "EXPERIMENTS"]
+
+Technique = Literal[
+    "sgd", "dropback", "dropback-q8", "magnitude", "variational", "slimming",
+    "gradual", "dsd",
+]
+DatasetName = Literal["mnist", "cifar"]
+ModelName = Literal[
+    "lenet-300-100", "mnist-100-100", "vgg-s-small", "densenet-tiny", "wrn-10-2",
+    "lenet5", "lenet5-prelu",
+]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One training run of one technique on one model.
+
+    ``compression`` is the weight-budget ratio for techniques that take one
+    (ignored by ``sgd``).  ``paper_error`` records the number the paper
+    reports for the corresponding full-scale row, when it exists.
+    """
+
+    name: str
+    model: ModelName
+    dataset: DatasetName
+    technique: Technique = "dropback"
+    compression: float = 1.0
+    epochs: int = 8
+    lr: float = 0.4
+    freeze_epoch: int | None = None
+    paper_error: float | None = None
+    paper_compression: float | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _table1() -> list[RunConfig]:
+    rows: list[RunConfig] = []
+    for model, paper in (
+        ("lenet-300-100", [(None, 0.0141, None), (5.33, 0.0151, 100), (13.33, 0.0178, 35),
+                           (177.74, 0.0384, 40)]),
+        ("mnist-100-100", [(None, 0.0170, None), (1.8, 0.0158, 5), (4.5, 0.0170, 5),
+                           (60.0, 0.0378, 30)]),
+    ):
+        for comp, err, freeze in paper:
+            technique = "sgd" if comp is None else "dropback"
+            label = "baseline" if comp is None else f"dropback-{comp:g}x"
+            rows.append(
+                RunConfig(
+                    name=f"{model}/{label}",
+                    model=model,  # type: ignore[arg-type]
+                    dataset="mnist",
+                    technique=technique,  # type: ignore[arg-type]
+                    compression=comp or 1.0,
+                    paper_error=err,
+                    paper_compression=comp,
+                )
+            )
+    return rows
+
+
+def _table3() -> list[RunConfig]:
+    rows: list[RunConfig] = []
+    nets: list[tuple[ModelName, dict]] = [
+        ("vgg-s-small", {"baseline": 0.1008, "dropback-5x": 0.0990, "dropback-20x": 0.1349,
+                         "variational": 0.1350, "magnitude-5x": 0.0942, "slimming": 0.1108}),
+        ("densenet-tiny", {"baseline": 0.0648, "dropback-5x": 0.0586, "dropback-20x": 0.0942,
+                           "variational": 0.90, "magnitude-5x": 0.0641, "slimming": 0.0565}),
+        ("wrn-10-2", {"baseline": 0.0375, "dropback-5x": 0.0402,
+                      "variational": 0.90, "magnitude-5x": 0.2652, "slimming": 0.1664}),
+    ]
+    for model, cells in nets:
+        for label, err in cells.items():
+            if label == "baseline":
+                tech, comp = "sgd", 1.0
+            elif label.startswith("dropback"):
+                tech, comp = "dropback", float(label.split("-")[1].rstrip("x"))
+            elif label.startswith("magnitude"):
+                tech, comp = "magnitude", 5.0
+            elif label == "variational":
+                tech, comp = "variational", 3.4
+            else:
+                tech, comp = "slimming", 4.0
+            rows.append(
+                RunConfig(
+                    name=f"{model}/{label}",
+                    model=model,
+                    dataset="cifar",
+                    technique=tech,  # type: ignore[arg-type]
+                    compression=comp,
+                    epochs=5,
+                    lr=0.1,
+                    paper_error=err,
+                )
+            )
+    return rows
+
+
+def _ablation_zero() -> list[RunConfig]:
+    return [
+        RunConfig(
+            name=f"mnist-100-100/{'zeroed' if zero else 'regen'}-{comp:g}x",
+            model="mnist-100-100",
+            dataset="mnist",
+            technique="dropback",
+            compression=comp,
+            paper_error=None,
+        )
+        for comp in (2.0, 30.0, 60.0)
+        for zero in (False, True)
+    ]
+
+
+def _ablation_freeze() -> list[RunConfig]:
+    return [
+        RunConfig(
+            name=f"mnist-100-100/comp{comp:g}x-freeze{freeze or 'never'}",
+            model="mnist-100-100",
+            dataset="mnist",
+            technique="dropback",
+            compression=comp,
+            freeze_epoch=freeze,
+        )
+        for comp in (4.5, 60.0)
+        for freeze in (1, 3, None)
+    ]
+
+
+EXPERIMENTS: dict[str, list[RunConfig]] = {
+    "table1": _table1(),
+    "table3": _table3(),
+    "ablation-zero": _ablation_zero(),
+    "ablation-freeze": _ablation_freeze(),
+}
+
+
+def list_experiments() -> list[str]:
+    """Names of the registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> list[RunConfig]:
+    """The config list for a registered experiment."""
+    try:
+        return list(EXPERIMENTS[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(list_experiments())}"
+        ) from None

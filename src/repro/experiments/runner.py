@@ -1,0 +1,191 @@
+"""Experiment runner: execute a :class:`RunConfig`, return structured results.
+
+The runner owns model/dataset construction and technique dispatch, so the
+same config can run at test scale (seconds) or near paper scale by turning
+the ``scale`` knob.  Results optionally append to a JSONL experiment log
+(:mod:`repro.utils.explog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import DropBack
+from repro.data import DataLoader, Dataset, synth_cifar, synth_mnist
+from repro.experiments.configs import RunConfig
+from repro.models import (
+    densenet_tiny,
+    lenet5,
+    lenet5_prelu,
+    lenet_300_100,
+    mnist_100_100,
+    vgg_s,
+    wrn_10_2,
+)
+from repro.optim import SGD, ConstantLR
+from repro.prune import (
+    MagnitudePruning,
+    SlimmingSGD,
+    make_variational,
+    prune_channels,
+    slimming_compression,
+    vd_loss_fn,
+    vd_sparsity,
+)
+from repro.quant import QuantizedDropBack
+from repro.prune import DSD, GradualMagnitudePruning
+from repro.train import FreezeCallback, Trainer
+from repro.utils.explog import ExperimentLogger
+
+__all__ = ["RunResult", "run_config", "run_experiment"]
+
+
+def _vgg_s_small():
+    return vgg_s(fc_width=64, config=(16, "M", 32, "M", 64, 64, "M", 128, 128, "M"))
+
+
+_MODEL_FACTORIES: dict[str, Callable] = {
+    "lenet-300-100": lenet_300_100,
+    "mnist-100-100": mnist_100_100,
+    "vgg-s-small": _vgg_s_small,
+    "densenet-tiny": densenet_tiny,
+    "wrn-10-2": wrn_10_2,
+    "lenet5": lenet5,
+    "lenet5-prelu": lenet5_prelu,
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one config run."""
+
+    config: RunConfig
+    val_error: float
+    best_epoch: int
+    achieved_compression: float
+    diverged: bool
+
+    def to_metrics(self) -> dict:
+        return {
+            "val_error": self.val_error,
+            "best_epoch": self.best_epoch,
+            "achieved_compression": self.achieved_compression,
+            "diverged": self.diverged,
+        }
+
+
+def _datasets(kind: str, scale: float, seed: int) -> tuple[Dataset, Dataset]:
+    if kind == "mnist":
+        n = max(200, int(8000 * scale))
+        return synth_mnist(n_train=n, n_test=max(100, n // 4), seed=seed)
+    n = max(200, int(4000 * scale))
+    return synth_cifar(n_train=n, n_test=max(100, n // 4), seed=seed, size=16)
+
+
+def run_config(
+    cfg: RunConfig,
+    scale: float = 0.2,
+    seed: int = 42,
+    logger: ExperimentLogger | None = None,
+    zero_untracked: bool = False,
+) -> RunResult:
+    """Execute one run configuration.
+
+    Parameters
+    ----------
+    cfg:
+        The run to execute.
+    scale:
+        Dataset-size multiplier relative to the default workload.
+    seed:
+        Model initialization seed.
+    logger:
+        Optional JSONL logger; the result is appended when given.
+    zero_untracked:
+        Forwarded to DropBack (for the zeroing ablation experiment).
+    """
+    if cfg.model not in _MODEL_FACTORIES:
+        raise KeyError(f"unknown model {cfg.model!r}")
+    data = _datasets(cfg.dataset, scale, seed=0)
+    train, test = data
+    model = _MODEL_FACTORIES[cfg.model]()
+    loss_fn = None
+    callbacks = []
+    epochs = cfg.epochs
+    achieved = 1.0
+
+    if cfg.technique == "variational":
+        model = make_variational(model)
+    model.finalize(seed)
+
+    if cfg.technique == "sgd":
+        opt = SGD(model, lr=cfg.lr)
+    elif cfg.technique in ("dropback", "dropback-q8"):
+        k = max(1, int(round(model.num_parameters() / cfg.compression)))
+        if cfg.technique == "dropback":
+            opt = DropBack(model, k=k, lr=cfg.lr, zero_untracked=zero_untracked)
+        else:
+            opt = QuantizedDropBack(model, k=k, lr=cfg.lr, bits=8)
+        achieved = opt.compression_ratio
+        if cfg.freeze_epoch:
+            callbacks.append(FreezeCallback(cfg.freeze_epoch))
+    elif cfg.technique == "magnitude":
+        opt = MagnitudePruning(model, lr=cfg.lr, prune_fraction=1 - 1 / cfg.compression)
+        achieved = opt.compression_ratio
+    elif cfg.technique == "gradual":
+        opt = GradualMagnitudePruning(model, lr=cfg.lr,
+                                      final_sparsity=1 - 1 / cfg.compression)
+    elif cfg.technique == "dsd":
+        opt = DSD(model, lr=cfg.lr, sparsity=1 - 1 / cfg.compression)
+    elif cfg.technique == "variational":
+        opt = SGD(model, lr=cfg.lr / 2)
+        steps = max(1, len(train) // 64)
+        loss_fn = vd_loss_fn(model, n_train=len(train), kl_weight=0.2,
+                             warmup_steps=2 * steps)
+    elif cfg.technique == "slimming":
+        opt = SlimmingSGD(model, lr=cfg.lr, l1=1e-3)
+    else:
+        raise ValueError(f"unknown technique {cfg.technique!r}")
+
+    trainer = Trainer(model, opt, loss_fn=loss_fn, schedule=ConstantLR(opt.lr),
+                      callbacks=callbacks)
+    hist = trainer.fit(DataLoader(train, 64, seed=1), test, epochs=epochs)
+
+    if cfg.technique == "slimming" and not hist.diverged:
+        prune_channels(model, 1 - 1 / cfg.compression)
+        retrain = Trainer(model, SGD(model, lr=cfg.lr / 2), schedule=ConstantLR(cfg.lr / 2))
+        hist = retrain.fit(DataLoader(train, 64, seed=2), test,
+                           epochs=max(1, epochs // 2))
+        achieved = slimming_compression(model)
+    elif cfg.technique == "variational":
+        achieved = 1.0 / max(1e-6, 1.0 - vd_sparsity(model))
+
+    result = RunResult(
+        config=cfg,
+        val_error=hist.best_val_error,
+        best_epoch=hist.best_epoch,
+        achieved_compression=achieved,
+        diverged=hist.diverged,
+    )
+    if logger is not None:
+        logger.log(cfg.to_dict(), result.to_metrics())
+    return result
+
+
+def run_experiment(
+    name: str,
+    scale: float = 0.2,
+    seed: int = 42,
+    log_path: str | None = None,
+) -> list[RunResult]:
+    """Run every config of a registered experiment (optionally logging)."""
+    from repro.experiments.configs import get_experiment
+
+    logger = ExperimentLogger(log_path, name) if log_path else None
+    results = []
+    for cfg in get_experiment(name):
+        zero = name == "ablation-zero" and "zeroed" in cfg.name
+        results.append(run_config(cfg, scale=scale, seed=seed, logger=logger,
+                                  zero_untracked=zero))
+    return results

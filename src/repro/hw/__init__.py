@@ -1,0 +1,17 @@
+"""Accelerator hardware model (memory hierarchy, regeneration unit)."""
+
+from repro.hw.accelerator import AcceleratorModel, StepEnergy
+from repro.hw.memory import DRAM, REGISTER, SRAM_1MB, SRAM_64KB, MemoryHierarchy, MemoryLevel
+from repro.hw.regen_unit import RegenerationUnit
+
+__all__ = [
+    "AcceleratorModel",
+    "StepEnergy",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "RegenerationUnit",
+    "REGISTER",
+    "SRAM_64KB",
+    "SRAM_1MB",
+    "DRAM",
+]

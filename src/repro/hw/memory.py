@@ -1,0 +1,89 @@
+"""Memory-hierarchy model for the DropBack accelerator analysis.
+
+The paper's core hardware argument (Section 1) compares a 640 pJ off-chip
+DRAM access against sub-pJ on-chip operations.  Real accelerators sit
+between those extremes: weights that fit in on-chip SRAM cost ~5 pJ, and
+only the spill traffic pays the DRAM price.  This module models that
+hierarchy so the DropBack claim can be stated precisely: *a tracked set
+that fits in SRAM turns all weight traffic on-chip*, which is where the
+"train 5-10x larger networks" headline comes from.
+
+Energy figures are 45 nm estimates in the style of Horowitz (ISSCC 2014),
+the same source family as the paper's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "REGISTER", "SRAM_64KB", "SRAM_1MB", "DRAM"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label.
+    capacity_bytes:
+        Capacity; ``None`` for effectively unbounded (DRAM).
+    pj_per_access:
+        Energy per 32-bit access.
+    """
+
+    name: str
+    capacity_bytes: int | None
+    pj_per_access: float
+
+    def holds(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` fits at this level."""
+        return self.capacity_bytes is None or nbytes <= self.capacity_bytes
+
+
+#: 45 nm ballpark figures (Horowitz 2014 / Han et al. 2016).
+REGISTER = MemoryLevel("register", 1 * 1024, 0.1)
+SRAM_64KB = MemoryLevel("sram-64KB", 64 * 1024, 5.0)
+SRAM_1MB = MemoryLevel("sram-1MB", 1024 * 1024, 20.0)
+DRAM = MemoryLevel("dram", None, 640.0)
+
+
+class MemoryHierarchy:
+    """An ordered list of levels; data lands in the smallest level it fits.
+
+    Parameters
+    ----------
+    levels:
+        Levels ordered from smallest/cheapest to largest/most expensive.
+        The last level must be unbounded.
+    """
+
+    def __init__(self, levels: list[MemoryLevel] | None = None):
+        self.levels = levels or [SRAM_64KB, SRAM_1MB, DRAM]
+        if self.levels[-1].capacity_bytes is not None:
+            raise ValueError("last level must be unbounded (the spill target)")
+        for a, b in zip(self.levels, self.levels[1:]):
+            if a.capacity_bytes is not None and b.capacity_bytes is not None:
+                if a.capacity_bytes > b.capacity_bytes:
+                    raise ValueError("levels must be ordered smallest to largest")
+
+    def placement(self, nbytes: int) -> MemoryLevel:
+        """The level a working set of ``nbytes`` resides in."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        for level in self.levels:
+            if level.holds(nbytes):
+                return level
+        return self.levels[-1]
+
+    def access_energy_pj(self, nbytes_resident: int, accesses: int) -> float:
+        """Energy for ``accesses`` 32-bit reads/writes of a resident set."""
+        return self.placement(nbytes_resident).pj_per_access * accesses
+
+    def largest_fitting_on_chip(self) -> int:
+        """Capacity of the biggest bounded (on-chip) level, in bytes."""
+        bounded = [l.capacity_bytes for l in self.levels if l.capacity_bytes is not None]
+        if not bounded:
+            raise ValueError("hierarchy has no on-chip level")
+        return max(bounded)

@@ -1,0 +1,67 @@
+"""Model of the hardware xorshift regeneration unit.
+
+Paper Section 2.1: regenerating one normally distributed initialization
+value takes six 32-bit integer operations and one floating-point operation
+(~1.5 pJ at 45 nm).  A hardware unit pipelines this: with the xorshift
+rounds unrolled it produces one value per cycle per lane.
+
+:class:`RegenerationUnit` turns a regeneration demand (values per training
+step) into energy, latency, and area-free throughput numbers the
+accelerator model composes with memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.init import REGEN_FLOAT_OPS, REGEN_INT_OPS
+
+__all__ = ["RegenerationUnit"]
+
+
+@dataclass(frozen=True)
+class RegenerationUnit:
+    """A pipelined multi-lane regeneration unit.
+
+    Parameters
+    ----------
+    lanes:
+        Parallel generation lanes (values per cycle at steady state).
+    clock_ghz:
+        Operating frequency.
+    pj_int_op, pj_float_op:
+        Per-operation energies (45 nm defaults).
+    """
+
+    lanes: int = 4
+    clock_ghz: float = 1.0
+    pj_int_op: float = 0.1
+    pj_float_op: float = 0.9
+
+    def __post_init__(self):
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_ghz}")
+
+    @property
+    def pj_per_value(self) -> float:
+        """Energy to regenerate one value (6 int + 1 float op)."""
+        return REGEN_INT_OPS * self.pj_int_op + REGEN_FLOAT_OPS * self.pj_float_op
+
+    def energy_pj(self, n_values: int) -> float:
+        """Energy to regenerate ``n_values`` values."""
+        if n_values < 0:
+            raise ValueError("n_values must be non-negative")
+        return n_values * self.pj_per_value
+
+    def latency_us(self, n_values: int) -> float:
+        """Steady-state latency to stream out ``n_values`` values."""
+        if n_values < 0:
+            raise ValueError("n_values must be non-negative")
+        cycles = n_values / self.lanes
+        return cycles / (self.clock_ghz * 1e3)  # GHz -> values/us per lane
+
+    def values_per_second(self) -> float:
+        """Peak regeneration throughput."""
+        return self.lanes * self.clock_ghz * 1e9

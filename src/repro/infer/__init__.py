@@ -1,0 +1,5 @@
+"""Inference with on-the-fly weight regeneration (the accelerator view)."""
+
+from repro.infer.engine import InferenceTraffic, RegeneratingInferenceEngine
+
+__all__ = ["RegeneratingInferenceEngine", "InferenceTraffic"]

@@ -1,0 +1,35 @@
+"""Deterministic, regenerable initialization (xorshift PRNG + initializers)."""
+
+from repro.init.initializers import (
+    ConstantInit,
+    HeNormalInit,
+    Initializer,
+    ScaledNormalInit,
+    he_std,
+    lecun_std,
+)
+from repro.init.xorshift import (
+    REGEN_FLOAT_OPS,
+    REGEN_INT_OPS,
+    Xorshift32,
+    Xorshift128,
+    normal_at,
+    uniform_at,
+    xorshift_at,
+)
+
+__all__ = [
+    "ConstantInit",
+    "HeNormalInit",
+    "Initializer",
+    "ScaledNormalInit",
+    "he_std",
+    "lecun_std",
+    "REGEN_FLOAT_OPS",
+    "REGEN_INT_OPS",
+    "Xorshift32",
+    "Xorshift128",
+    "normal_at",
+    "uniform_at",
+    "xorshift_at",
+]

@@ -1,0 +1,150 @@
+"""Regenerating weight initializers.
+
+Every parameter in a DropBack-trained network carries an initializer that can
+*regenerate* its initial value at any time, from nothing but a global seed and
+the parameter's global index range.  Two families are needed:
+
+* :class:`ScaledNormalInit` — LeCun scaled normal (LeCun et al., 1998), used
+  for weight matrices and convolution kernels.  Values come from the stateless
+  xorshift generator (:func:`repro.init.xorshift.normal_at`).
+* :class:`ConstantInit` — constant initialization (BatchNorm γ=1 / β=0,
+  PReLU slope=0.25, biases=0).  The paper notes these layers are *also*
+  pruned by DropBack because a constant is trivially regenerable ("xorshift
+  is not used for these").
+
+An initializer does not store the generated tensor; ``regenerate()`` is a
+pure function.  :class:`repro.core.dropback.DropBack` calls it on every step
+for the untracked weights.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.init.xorshift import normal_at
+
+__all__ = [
+    "Initializer",
+    "ScaledNormalInit",
+    "HeNormalInit",
+    "ConstantInit",
+    "lecun_std",
+    "he_std",
+]
+
+
+def lecun_std(fan_in: int) -> float:
+    """LeCun scaled-normal standard deviation, ``1/sqrt(fan_in)``.
+
+    LeCun et al. (1998), "Efficient BackProp" — the initialization the paper
+    specifies for all weight tensors.
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    return 1.0 / math.sqrt(fan_in)
+
+
+def he_std(fan_in: int) -> float:
+    """He-normal standard deviation ``sqrt(2/fan_in)`` (for ReLU nets)."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    return math.sqrt(2.0 / fan_in)
+
+
+class Initializer(abc.ABC):
+    """A deterministic, index-addressed source of initial parameter values.
+
+    Subclasses must make ``regenerate`` a *pure function* of
+    ``(seed, base_index, shape)`` so that values can be recomputed at every
+    access instead of being stored — the core memory-saving mechanism of
+    DropBack.
+    """
+
+    @abc.abstractmethod
+    def regenerate(
+        self, seed: int, base_index: int, shape: tuple[int, ...], dtype=np.float32
+    ) -> np.ndarray:
+        """Return the initial values for a parameter.
+
+        Parameters
+        ----------
+        seed:
+            Global network seed.
+        base_index:
+            This parameter's offset in the global flat index space (each
+            parameter occupies ``[base_index, base_index + size)``).
+        shape:
+            Parameter shape.
+        dtype:
+            Output dtype.
+        """
+
+    @abc.abstractmethod
+    def regenerate_flat(
+        self, seed: int, flat_indices: np.ndarray, dtype=np.float32
+    ) -> np.ndarray:
+        """Regenerate only the values at the given *global* flat indices."""
+
+
+class ScaledNormalInit(Initializer):
+    """Scaled normal init regenerated from the stateless xorshift PRNG.
+
+    Parameters
+    ----------
+    std:
+        Standard deviation; typically :func:`lecun_std` of the layer fan-in.
+    """
+
+    def __init__(self, std: float) -> None:
+        if not math.isfinite(std) or std < 0:
+            raise ValueError(f"std must be finite and non-negative, got {std}")
+        self.std = float(std)
+
+    def regenerate(self, seed, base_index, shape, dtype=np.float32):
+        size = int(np.prod(shape)) if shape else 1
+        idx = np.arange(base_index, base_index + size, dtype=np.int64)
+        return normal_at(seed, idx, std=self.std, dtype=dtype).reshape(shape)
+
+    def regenerate_flat(self, seed, flat_indices, dtype=np.float32):
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        return normal_at(seed, flat_indices, std=self.std, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return f"ScaledNormalInit(std={self.std:.6g})"
+
+
+class HeNormalInit(ScaledNormalInit):
+    """He-normal variant, ``std = sqrt(2 / fan_in)``; used by the conv nets."""
+
+    def __init__(self, fan_in: int) -> None:
+        super().__init__(he_std(fan_in))
+        self.fan_in = fan_in
+
+    def __repr__(self) -> str:
+        return f"HeNormalInit(fan_in={self.fan_in})"
+
+
+class ConstantInit(Initializer):
+    """Constant initialization — regeneration costs zero memory accesses.
+
+    Used for BatchNorm scale/shift, PReLU slopes, and biases.  Because the
+    initial value is a single constant, DropBack can prune these layers too:
+    an untracked BatchNorm γ is "regenerated" as 1.0 at every access.
+    """
+
+    def __init__(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"constant init value must be finite, got {value}")
+        self.value = float(value)
+
+    def regenerate(self, seed, base_index, shape, dtype=np.float32):
+        return np.full(shape, self.value, dtype=dtype)
+
+    def regenerate_flat(self, seed, flat_indices, dtype=np.float32):
+        return np.full(np.asarray(flat_indices).shape, self.value, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return f"ConstantInit({self.value})"

@@ -1,0 +1,24 @@
+"""Checkpoint serialization (dense and DropBack-sparse formats)."""
+
+from repro.io.checkpoint import (
+    compression_report,
+    dense_size_bytes,
+    load_dense,
+    load_sparse,
+    save_dense,
+    save_sparse,
+    sparse_size_bytes,
+)
+from repro.io.quantized import load_sparse_quantized, save_sparse_quantized
+
+__all__ = [
+    "save_sparse_quantized",
+    "load_sparse_quantized",
+    "save_dense",
+    "load_dense",
+    "save_sparse",
+    "load_sparse",
+    "sparse_size_bytes",
+    "dense_size_bytes",
+    "compression_report",
+]

@@ -1,0 +1,42 @@
+"""Model zoo: the paper's five evaluation networks plus scaled variants."""
+
+from repro.models.densenet import (
+    DenseNet,
+    densenet,
+    densenet_2_7m,
+    densenet_bc_100_12,
+    densenet_tiny,
+)
+from repro.models.lenet5 import lenet5, lenet5_bn, lenet5_prelu
+from repro.models.mlp import lenet_300_100, mlp, mnist_100_100
+from repro.models.vgg import VGG16_CONFIG, vgg_s
+from repro.models.wrn import (
+    WideResNet,
+    wide_resnet,
+    wrn_10_1,
+    wrn_10_2,
+    wrn_16_4,
+    wrn_28_10,
+)
+
+__all__ = [
+    "mlp",
+    "lenet_300_100",
+    "mnist_100_100",
+    "lenet5",
+    "lenet5_prelu",
+    "lenet5_bn",
+    "vgg_s",
+    "VGG16_CONFIG",
+    "WideResNet",
+    "wide_resnet",
+    "wrn_28_10",
+    "wrn_16_4",
+    "wrn_10_2",
+    "wrn_10_1",
+    "DenseNet",
+    "densenet",
+    "densenet_2_7m",
+    "densenet_bc_100_12",
+    "densenet_tiny",
+]

@@ -1,0 +1,150 @@
+"""Densely Connected Convolutional Networks (Huang et al., 2016).
+
+The paper's second hard-to-prune CIFAR model: "Densenet 2.7M".  DenseNet
+variants differ in depth L, growth rate k, bottleneck (BC) usage, and
+transition compression.  A non-bottleneck DenseNet with L=40 layers and
+growth k=20 lands at ~2.7M parameters on CIFAR-10, matching the paper's
+baseline size; the constructor is fully parameterized so both that config
+and CPU-scale versions (e.g. L=16, k=8) are available.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+)
+from repro.tensor import Tensor, concat
+
+__all__ = ["DenseNet", "densenet", "densenet_2_7m", "densenet_bc_100_12", "densenet_tiny"]
+
+
+class _DenseLayer(Module):
+    """BN-ReLU-Conv(3x3) producing ``growth`` new feature maps.
+
+    With ``bottleneck=True`` a BN-ReLU-Conv(1x1) reducing to ``4 * growth``
+    channels precedes the 3x3 convolution (the "B" in DenseNet-BC).
+    """
+
+    def __init__(self, in_ch: int, growth: int, bottleneck: bool):
+        super().__init__()
+        self.bottleneck = bottleneck
+        if bottleneck:
+            inter = 4 * growth
+            self.bn1 = BatchNorm2d(in_ch)
+            self.conv1 = Conv2d(in_ch, inter, 1, bias=False, init="he")
+            self.bn2 = BatchNorm2d(inter)
+            self.conv2 = Conv2d(inter, growth, 3, padding=1, bias=False, init="he")
+        else:
+            self.bn1 = BatchNorm2d(in_ch)
+            self.conv1 = Conv2d(in_ch, growth, 3, padding=1, bias=False, init="he")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(self.bn1(x).relu())
+        if self.bottleneck:
+            out = self.conv2(self.bn2(out).relu())
+        return concat([x, out], axis=1)
+
+
+class _Transition(Module):
+    """BN-ReLU-Conv(1x1) channel compression followed by 2x2 average pool."""
+
+    def __init__(self, in_ch: int, out_ch: int):
+        super().__init__()
+        self.bn = BatchNorm2d(in_ch)
+        self.conv = Conv2d(in_ch, out_ch, 1, bias=False, init="he")
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(Module):
+    """DenseNet for small images, 3 dense blocks.
+
+    Parameters
+    ----------
+    depth:
+        Total depth L; layers per block is ``(L - 4) / 3`` (halved again if
+        ``bottleneck``).
+    growth:
+        Growth rate k: feature maps added per dense layer.
+    bottleneck:
+        Use DenseNet-B bottleneck layers.
+    reduction:
+        Transition compression θ (DenseNet-C uses 0.5; 1.0 = no compression).
+    """
+
+    def __init__(
+        self,
+        depth: int = 40,
+        growth: int = 24,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        bottleneck: bool = False,
+        reduction: float = 1.0,
+    ):
+        super().__init__()
+        if (depth - 4) % 3 != 0:
+            raise ValueError(f"DenseNet depth must be 3n+4, got {depth}")
+        per_block = (depth - 4) // 3
+        if bottleneck:
+            if per_block % 2 != 0:
+                raise ValueError("bottleneck DenseNet needs (depth-4)/3 even")
+            per_block //= 2
+        self.depth = depth
+        self.growth = growth
+
+        ch = 2 * growth if bottleneck else 16
+        self.stem = Conv2d(in_channels, ch, 3, padding=1, bias=False, init="he")
+        blocks: list[Module] = []
+        for block_idx in range(3):
+            for _ in range(per_block):
+                blocks.append(_DenseLayer(ch, growth, bottleneck))
+                ch += growth
+            if block_idx < 2:
+                out_ch = max(1, int(ch * reduction))
+                blocks.append(_Transition(ch, out_ch))
+                ch = out_ch
+        self.blocks = blocks
+        self.bn_final = BatchNorm2d(ch)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(ch, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        out = self.bn_final(out).relu()
+        return self.fc(self.pool(out))
+
+
+def densenet(
+    depth: int,
+    growth: int,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    bottleneck: bool = False,
+    reduction: float = 1.0,
+) -> DenseNet:
+    """Construct a DenseNet with the given hyperparameters."""
+    return DenseNet(depth, growth, num_classes, in_channels, bottleneck, reduction)
+
+
+def densenet_2_7m(num_classes: int = 10) -> DenseNet:
+    """DenseNet L=40 k=20: ~2.7M parameters, the paper's baseline size."""
+    return densenet(40, 20, num_classes=num_classes)
+
+
+def densenet_bc_100_12(num_classes: int = 10) -> DenseNet:
+    """DenseNet-BC L=100 k=12 (the standard compact CIFAR config, ~0.8M)."""
+    return densenet(100, 12, num_classes=num_classes, bottleneck=True, reduction=0.5)
+
+
+def densenet_tiny(num_classes: int = 10, in_channels: int = 3) -> DenseNet:
+    """CPU-scale DenseNet used by the bench harness (L=16, k=8)."""
+    return densenet(16, 8, num_classes=num_classes, in_channels=in_channels)

@@ -1,0 +1,66 @@
+"""LeNet-5-style convolutional MNIST models, including a PReLU variant.
+
+The paper highlights that DropBack "works out-of-the-box for layers like
+Batch Normalization or Parametric ReLU, where the initialization strategy
+is typically a constant value".  The MLPs in the main experiments have
+neither, so this module provides convolutional MNIST models that do:
+
+* :func:`lenet5` — the classic conv-pool-conv-pool-fc stack (LeCun et al.,
+  1998), ReLU activations;
+* :func:`lenet5_prelu` — same topology with trainable per-channel PReLU
+  slopes (constant-0.25 init, hence regenerable);
+* :func:`lenet5_bn` — with BatchNorm after each convolution.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    PReLU,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["lenet5", "lenet5_prelu", "lenet5_bn"]
+
+
+def _stack(act_factory, with_bn: bool, in_channels: int, num_classes: int) -> Sequential:
+    layers: list = [Conv2d(in_channels, 6, 5, padding=2)]
+    if with_bn:
+        layers.append(BatchNorm2d(6))
+    layers += [act_factory(6), MaxPool2d(2), Conv2d(6, 16, 5)]
+    if with_bn:
+        layers.append(BatchNorm2d(16))
+    layers += [
+        act_factory(16),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(16 * 5 * 5, 120),
+        act_factory(120),
+        Linear(120, 84),
+        act_factory(84),
+        Linear(84, num_classes),
+    ]
+    return Sequential(*layers)
+
+
+def lenet5(in_channels: int = 1, num_classes: int = 10) -> Sequential:
+    """LeNet-5 with ReLU activations (~61k parameters on 28x28 inputs)."""
+    return _stack(lambda c: ReLU(), with_bn=False, in_channels=in_channels,
+                  num_classes=num_classes)
+
+
+def lenet5_prelu(in_channels: int = 1, num_classes: int = 10) -> Sequential:
+    """LeNet-5 with per-channel PReLU — every slope is DropBack-prunable."""
+    return _stack(lambda c: PReLU(c), with_bn=False, in_channels=in_channels,
+                  num_classes=num_classes)
+
+
+def lenet5_bn(in_channels: int = 1, num_classes: int = 10) -> Sequential:
+    """LeNet-5 with BatchNorm after each convolution."""
+    return _stack(lambda c: ReLU(), with_bn=True, in_channels=in_channels,
+                  num_classes=num_classes)

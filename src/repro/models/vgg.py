@@ -1,0 +1,85 @@
+"""VGG-S: the paper's reduced VGG-16 for CIFAR-10.
+
+The paper describes VGG-S as "a reduced VGG-16-like model with dropout,
+batch normalization, and two FC layers of 512 neurons including the output
+layer (a total of 15M parameters vs. the 138M of VGG-16)".  That is the
+standard VGG-16 convolutional stack (13 conv layers, config D) operating on
+32x32 inputs, followed by a single 512-unit FC layer and the 10-way output —
+the giant 4096-unit FC layers of the original are gone, which is where the
+parameter count drops from 138M to ~15M.
+
+:func:`vgg_s` builds the paper-exact model (14,982,474 params by default);
+``width_mult`` scales every channel count for CPU-sized bench runs while
+preserving the architecture shape.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["vgg_s", "VGG16_CONFIG"]
+
+#: VGG-16 configuration "D": channel widths with 'M' = 2x2 max-pool.
+VGG16_CONFIG: tuple = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M")
+
+
+def vgg_s(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_mult: float = 1.0,
+    fc_width: int | None = None,
+    dropout_p: float = 0.5,
+    config: tuple = VGG16_CONFIG,
+) -> Sequential:
+    """Build VGG-S (reduced VGG-16 with BN and dropout).
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (10 for CIFAR-10).
+    in_channels:
+        Input channels (3 for CIFAR).
+    width_mult:
+        Multiplier on all channel widths; ``1.0`` reproduces the paper's
+        ~15M-parameter model, smaller values give CPU-scale models with the
+        same depth/shape.
+    fc_width:
+        Width of the penultimate FC layer; defaults to the (scaled) final
+        conv width, 512 at ``width_mult=1``.
+    dropout_p:
+        Dropout probability before each FC layer.
+    config:
+        Conv stack description (ints = conv widths, ``"M"`` = max-pool).
+    """
+    layers: list = []
+    prev = in_channels
+    scaled_final = 0
+    for item in config:
+        if item == "M":
+            layers.append(MaxPool2d(2))
+            continue
+        width = max(1, int(round(item * width_mult)))
+        layers += [Conv2d(prev, width, 3, padding=1, bias=False), BatchNorm2d(width), ReLU()]
+        prev = width
+        scaled_final = width
+    fc = fc_width if fc_width is not None else scaled_final
+    layers += [
+        Flatten(),
+        Dropout(dropout_p),
+        Linear(prev, fc),
+        BatchNorm1d(fc),
+        ReLU(),
+        Dropout(dropout_p),
+        Linear(fc, num_classes),
+    ]
+    return Sequential(*layers)

@@ -1,0 +1,130 @@
+"""Wide Residual Networks (Zagoruyko & Komodakis, 2016).
+
+The paper's third CIFAR model is WRN-28-10 (36.5M parameters), chosen
+because wide residual nets are notoriously hard to prune (>2x compression
+loses significant accuracy with prior techniques; Table 3).
+
+WRN-d-k has depth ``d = 6n + 4`` (n blocks per group, 3 groups) and widening
+factor ``k``.  We implement the pre-activation basic-block variant used in
+the original, fully parameterized so that scaled-down instances (e.g.
+WRN-10-2) run on CPU while WRN-28-10 itself is constructible and its
+parameter count verified against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+)
+from repro.tensor import Tensor
+
+__all__ = ["WideResNet", "wide_resnet", "wrn_28_10", "wrn_16_4", "wrn_10_2", "wrn_10_1"]
+
+
+class _WideBlock(Module):
+    """Pre-activation residual block: BN-ReLU-Conv3x3-BN-ReLU-Conv3x3 + skip."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int):
+        super().__init__()
+        self.bn1 = BatchNorm2d(in_ch)
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, init="he")
+        self.bn2 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, init="he")
+        self.equal_io = in_ch == out_ch and stride == 1
+        self.shortcut = (
+            Identity()
+            if self.equal_io
+            else Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, init="he")
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = self.bn1(x).relu()
+        # Pre-activation feeds both branches when the shortcut is projected.
+        out = self.conv1(pre)
+        out = self.conv2(self.bn2(out).relu())
+        skip = x if self.equal_io else self.shortcut(pre)
+        return out + skip
+
+
+class WideResNet(Module):
+    """WRN-depth-widen for small (CIFAR-style) images.
+
+    Parameters
+    ----------
+    depth:
+        Total depth; must satisfy ``depth = 6n + 4``.
+    widen:
+        Widening factor ``k`` (channel widths 16k/32k/64k).
+    num_classes:
+        Output classes.
+    in_channels:
+        Input image channels.
+    base_width:
+        Stem width before widening (16 in the paper).
+    """
+
+    def __init__(
+        self,
+        depth: int = 28,
+        widen: int = 10,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        base_width: int = 16,
+    ):
+        super().__init__()
+        if (depth - 4) % 6 != 0:
+            raise ValueError(f"WRN depth must be 6n+4, got {depth}")
+        n = (depth - 4) // 6
+        widths = [base_width, base_width * widen, 2 * base_width * widen, 4 * base_width * widen]
+
+        self.depth = depth
+        self.widen = widen
+        self.stem = Conv2d(in_channels, widths[0], 3, padding=1, bias=False, init="he")
+        blocks: list[Module] = []
+        in_ch = widths[0]
+        for group, width in enumerate(widths[1:]):
+            for b in range(n):
+                stride = 2 if (group > 0 and b == 0) else 1
+                blocks.append(_WideBlock(in_ch, width, stride))
+                in_ch = width
+        self.blocks = blocks
+        self.bn_final = BatchNorm2d(in_ch)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        out = self.bn_final(out).relu()
+        return self.fc(self.pool(out))
+
+
+def wide_resnet(depth: int, widen: int, num_classes: int = 10, in_channels: int = 3) -> WideResNet:
+    """Construct a WRN-depth-widen model."""
+    return WideResNet(depth=depth, widen=widen, num_classes=num_classes, in_channels=in_channels)
+
+
+def wrn_28_10(num_classes: int = 10) -> WideResNet:
+    """The paper's WRN-28-10 (~36.5M parameters)."""
+    return wide_resnet(28, 10, num_classes=num_classes)
+
+
+def wrn_16_4(num_classes: int = 10) -> WideResNet:
+    """Mid-size WRN for moderate-cost experiments (~2.7M parameters)."""
+    return wide_resnet(16, 4, num_classes=num_classes)
+
+
+def wrn_10_2(num_classes: int = 10, in_channels: int = 3) -> WideResNet:
+    """CPU-scale WRN used by the bench harness (~0.3M parameters)."""
+    return wide_resnet(10, 2, num_classes=num_classes, in_channels=in_channels)
+
+
+def wrn_10_1(num_classes: int = 10, in_channels: int = 3) -> WideResNet:
+    """Smallest WRN (test-scale)."""
+    return wide_resnet(10, 1, num_classes=num_classes, in_channels=in_channels)

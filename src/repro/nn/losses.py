@@ -1,0 +1,37 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tensor as F
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy from logits and integer class labels."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:  # type: ignore[override]
+        return F.cross_entropy(logits, targets)
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:  # type: ignore[override]
+        return self.forward(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target) -> Tensor:  # type: ignore[override]
+        return F.mse_loss(pred, target)
+
+    def __call__(self, pred: Tensor, target) -> Tensor:  # type: ignore[override]
+        return self.forward(pred, target)
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

@@ -1,0 +1,22 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.base import AccessCounter, Optimizer
+from repro.optim.schedules import (
+    BoundedStepDecay,
+    ConstantLR,
+    ExponentialDecay,
+    Schedule,
+    StepDecay,
+)
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "AccessCounter",
+    "SGD",
+    "Schedule",
+    "ConstantLR",
+    "StepDecay",
+    "BoundedStepDecay",
+    "ExponentialDecay",
+]

@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+The paper's recipes:
+
+* MNIST — "initial learning rate of 0.4 was exponentially reduced four
+  times by a factor of 0.5" → :class:`BoundedStepDecay` (factor 0.5, at most
+  4 reductions).
+* CIFAR — "the starting learning rate of 0.4 decayed 0.5x every 25 epochs"
+  → :class:`StepDecay` (period 25, factor 0.5).
+
+A schedule is a callable ``epoch -> lr``; :class:`repro.train.Trainer`
+applies it to the optimizer at the start of each epoch.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Schedule", "ConstantLR", "StepDecay", "BoundedStepDecay", "ExponentialDecay"]
+
+
+class Schedule(abc.ABC):
+    """Maps an epoch index (0-based) to a learning rate."""
+
+    @abc.abstractmethod
+    def __call__(self, epoch: int) -> float: ...
+
+
+class ConstantLR(Schedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepDecay(Schedule):
+    """Multiply by ``factor`` every ``period`` epochs (CIFAR recipe)."""
+
+    def __init__(self, base_lr: float, factor: float = 0.5, period: int = 25):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        self.base_lr = float(base_lr)
+        self.factor = float(factor)
+        self.period = int(period)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr * self.factor ** (epoch // self.period)
+
+
+class BoundedStepDecay(StepDecay):
+    """Step decay capped at ``max_drops`` reductions (MNIST recipe: 4)."""
+
+    def __init__(self, base_lr: float, factor: float = 0.5, period: int = 20, max_drops: int = 4):
+        super().__init__(base_lr, factor, period)
+        if max_drops < 0:
+            raise ValueError(f"max_drops must be non-negative, got {max_drops}")
+        self.max_drops = int(max_drops)
+
+    def __call__(self, epoch: int) -> float:
+        drops = min(epoch // self.period, self.max_drops)
+        return self.base_lr * self.factor**drops
+
+
+class ExponentialDecay(Schedule):
+    """Smooth exponential decay ``lr = base * gamma**epoch``."""
+
+    def __init__(self, base_lr: float, gamma: float = 0.97):
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.base_lr = float(base_lr)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch

@@ -1,0 +1,63 @@
+"""Plain stochastic gradient descent.
+
+The paper's baseline and the inner update rule of DropBack: "All networks
+were optimized using stochastic gradient descent without momentum, as all
+other optimization strategies cost significant extra memory."  Momentum and
+weight decay are available for completeness but default off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and L2 weight decay.
+
+    Parameters
+    ----------
+    model:
+        Finalized model.
+    lr:
+        Learning rate.
+    momentum:
+        Classical momentum coefficient (0 disables, paper default).
+    weight_decay:
+        L2 penalty coefficient applied as gradient decay.
+    """
+
+    def __init__(self, model: Module, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(model, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = (
+            [np.zeros_like(p.data) for p in self.params] if momentum > 0.0 else None
+        )
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v -= self.lr * g
+                p.data = p.data + v
+            else:
+                p.data = p.data - self.lr * g
+            # Baseline traffic: read every weight (forward), write every
+            # updated weight back.  The backward-pass weight reads are
+            # counted by the energy model per-step from the same totals.
+            self.counter.weight_reads += p.size
+            self.counter.weight_writes += p.size
+        self.counter.steps += 1

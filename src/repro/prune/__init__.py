@@ -1,0 +1,38 @@
+"""Baseline pruning techniques the paper compares DropBack against."""
+
+from repro.prune.dsd import DSD
+from repro.prune.gradual import GradualMagnitudePruning, cubic_sparsity_schedule
+from repro.prune.magnitude import MagnitudePruning
+from repro.prune.slimming import (
+    SlimmingSGD,
+    bn_gammas,
+    prune_channels,
+    slimming_compression,
+)
+from repro.prune.variational import (
+    LOG_ALPHA_THRESHOLD,
+    VDConv2d,
+    VDLinear,
+    make_variational,
+    total_kl,
+    vd_loss_fn,
+    vd_sparsity,
+)
+
+__all__ = [
+    "MagnitudePruning",
+    "DSD",
+    "GradualMagnitudePruning",
+    "cubic_sparsity_schedule",
+    "SlimmingSGD",
+    "prune_channels",
+    "slimming_compression",
+    "bn_gammas",
+    "VDLinear",
+    "VDConv2d",
+    "make_variational",
+    "total_kl",
+    "vd_loss_fn",
+    "vd_sparsity",
+    "LOG_ALPHA_THRESHOLD",
+]

@@ -1,0 +1,118 @@
+"""DSD: Dense-Sparse-Dense training (Han et al., 2017) — extension baseline.
+
+The paper contrasts DropBack with DSD (Section 2.2): DSD "repeatedly
+alternates sparse phases (where the lowest-absolute-value weights are
+deleted) and dense refinement phases (where all weights may be updated)",
+i.e. it is a *regularizer* that needs full dense training memory, whereas
+DropBack never stores more than k weights.
+
+Implemented as an optimizer with a phase schedule:
+
+    dense (d1 steps) -> sparse with a frozen magnitude mask (s steps)
+                     -> dense refinement (d2 steps) -> ...
+
+During sparse phases, masked weights are held at zero and receive no
+updates; during dense phases everything trains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import top_k_mask
+from repro.nn import Module
+from repro.optim.base import Optimizer
+
+__all__ = ["DSD"]
+
+
+class DSD(Optimizer):
+    """Dense-Sparse-Dense SGD.
+
+    Parameters
+    ----------
+    model:
+        Finalized model.
+    lr:
+        Learning rate.
+    sparsity:
+        Fraction of weights zeroed during sparse phases (DSD paper: 25-50%).
+    dense_steps, sparse_steps:
+        Phase lengths in optimizer steps.
+    cycles:
+        Number of sparse phases before training stays dense.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float,
+        sparsity: float = 0.5,
+        dense_steps: int = 100,
+        sparse_steps: int = 100,
+        cycles: int = 1,
+    ):
+        super().__init__(model, lr)
+        if not 0.0 < sparsity < 1.0:
+            raise ValueError(f"sparsity must be in (0, 1), got {sparsity}")
+        if dense_steps <= 0 or sparse_steps <= 0:
+            raise ValueError("phase lengths must be positive")
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        self.sparsity = float(sparsity)
+        self.dense_steps = int(dense_steps)
+        self.sparse_steps = int(sparse_steps)
+        self.cycles = int(cycles)
+        self._step_idx = 0
+        self._mask: list[np.ndarray] | None = None  # per-param keep masks
+        self._weights = [
+            p for name, p in model.named_parameters() if name.endswith("weight")
+        ]
+
+    @property
+    def phase(self) -> str:
+        """Current phase: ``"dense"`` or ``"sparse"``."""
+        cycle_len = self.dense_steps + self.sparse_steps
+        cycle = self._step_idx // cycle_len
+        if cycle >= self.cycles:
+            return "dense"  # final dense refinement runs forever
+        within = self._step_idx % cycle_len
+        return "dense" if within < self.dense_steps else "sparse"
+
+    def _build_mask(self) -> list[np.ndarray]:
+        scores = np.concatenate([np.abs(p.data).reshape(-1) for p in self._weights])
+        keep = max(1, int(round(scores.size * (1.0 - self.sparsity))))
+        flat = top_k_mask(scores, keep)
+        masks = []
+        offset = 0
+        for p in self._weights:
+            masks.append(flat[offset : offset + p.size].reshape(p.shape))
+            offset += p.size
+        return masks
+
+    def step(self) -> None:
+        phase = self.phase
+        entering_sparse = phase == "sparse" and self._mask is None
+        if entering_sparse:
+            self._mask = self._build_mask()
+        if phase == "dense":
+            self._mask = None
+
+        for p in self.params:
+            if p.grad is not None:
+                p.data = p.data - self.lr * p.grad
+            self.counter.weight_reads += p.size
+            self.counter.weight_writes += p.size
+
+        if self._mask is not None:
+            for p, m in zip(self._weights, self._mask):
+                p.data = np.where(m, p.data, 0.0).astype(p.data.dtype)
+
+        self._step_idx += 1
+        self.counter.steps += 1
+
+    def sparsity_now(self) -> float:
+        """Measured zero fraction over the weight tensors."""
+        zero = sum(int(np.count_nonzero(p.data == 0.0)) for p in self._weights)
+        total = sum(p.size for p in self._weights)
+        return zero / total

@@ -1,0 +1,126 @@
+"""Gradual magnitude pruning (Zhu & Gupta, 2017) — extension baseline.
+
+Cited by the paper's related work: "Zhu & Gupta (2017) gradually increase
+the number of weights masked from contributing to the network".  The
+sparsity follows the cubic schedule
+
+    s_t = s_f + (s_i - s_f) * (1 - (t - t_0) / (n * dt))^3
+
+ramping from initial sparsity ``s_i`` (usually 0) to final sparsity ``s_f``
+over ``n`` pruning events spaced ``dt`` steps apart.  Masked weights are
+zeroed; the mask only grows (pruned weights stay pruned), unlike the
+paper's per-step re-selection.
+
+Like all magnitude methods it needs dense training memory — the contrast
+DropBack draws in Section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import top_k_mask
+from repro.nn import Module
+from repro.optim.base import Optimizer
+
+__all__ = ["GradualMagnitudePruning", "cubic_sparsity_schedule"]
+
+
+def cubic_sparsity_schedule(
+    step: int, final_sparsity: float, ramp_steps: int, initial_sparsity: float = 0.0,
+    begin_step: int = 0,
+) -> float:
+    """Zhu & Gupta's cubic sparsity ramp, clamped to its endpoints."""
+    if step <= begin_step:
+        return initial_sparsity
+    t = min(1.0, (step - begin_step) / max(ramp_steps, 1))
+    return final_sparsity + (initial_sparsity - final_sparsity) * (1.0 - t) ** 3
+
+
+class GradualMagnitudePruning(Optimizer):
+    """SGD with a cubic-ramped, monotonically growing magnitude mask.
+
+    Parameters
+    ----------
+    model:
+        Finalized model.
+    lr:
+        Learning rate.
+    final_sparsity:
+        Target fraction of weights zeroed at the end of the ramp.
+    ramp_steps:
+        Steps over which sparsity ramps from 0 to ``final_sparsity``.
+    prune_every:
+        Mask recomputation period (pruning events), in steps.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float,
+        final_sparsity: float = 0.75,
+        ramp_steps: int = 200,
+        prune_every: int = 10,
+    ):
+        super().__init__(model, lr)
+        if not 0.0 < final_sparsity < 1.0:
+            raise ValueError(f"final_sparsity must be in (0, 1), got {final_sparsity}")
+        if ramp_steps <= 0 or prune_every <= 0:
+            raise ValueError("ramp_steps and prune_every must be positive")
+        self.final_sparsity = float(final_sparsity)
+        self.ramp_steps = int(ramp_steps)
+        self.prune_every = int(prune_every)
+        self._step_idx = 0
+        self._weights = [p for name, p in model.named_parameters() if name.endswith("weight")]
+        self._total = sum(p.size for p in self._weights)
+        self._dead = [np.zeros(p.shape, dtype=bool) for p in self._weights]
+
+    def current_target_sparsity(self) -> float:
+        return cubic_sparsity_schedule(self._step_idx, self.final_sparsity, self.ramp_steps)
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is not None:
+                p.data = p.data - self.lr * p.grad
+            self.counter.weight_reads += p.size
+            self.counter.weight_writes += p.size
+
+        # Re-apply the monotone mask; extend it on pruning events.
+        if self._step_idx % self.prune_every == 0:
+            target = self.current_target_sparsity()
+            n_dead_target = int(round(self._total * target))
+            n_dead_now = sum(int(d.sum()) for d in self._dead)
+            if n_dead_target > n_dead_now:
+                # Among currently-alive weights, kill the smallest; dead
+                # weights score -inf so they can never re-enter the alive set
+                # (the mask is monotone, unlike DropBack's re-selection).
+                scores = np.concatenate(
+                    [
+                        np.where(d, -np.inf, np.abs(p.data)).reshape(-1)
+                        for p, d in zip(self._weights, self._dead)
+                    ]
+                )
+                keep = self._total - n_dead_target
+                alive_mask = top_k_mask(scores, keep)
+                offset = 0
+                for i, p in enumerate(self._weights):
+                    m = alive_mask[offset : offset + p.size].reshape(p.shape)
+                    self._dead[i] = ~m
+                    offset += p.size
+        for p, d in zip(self._weights, self._dead):
+            if d.any():
+                p.data = np.where(d, 0.0, p.data).astype(p.data.dtype)
+
+        self._step_idx += 1
+        self.counter.steps += 1
+
+    def sparsity_now(self) -> float:
+        """Measured zero fraction over the weight tensors."""
+        zero = sum(int(np.count_nonzero(p.data == 0.0)) for p in self._weights)
+        return zero / self._total
+
+    @property
+    def compression_ratio(self) -> float:
+        dead = sum(int(d.sum()) for d in self._dead)
+        kept = self.num_parameters - dead
+        return self.num_parameters / kept if kept else float("inf")

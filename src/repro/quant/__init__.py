@@ -1,0 +1,12 @@
+"""Quantization (orthogonal to DropBack; combinable, per paper Section 5)."""
+
+from repro.quant.qat import QuantizedDropBack, QuantizedSGD
+from repro.quant.quantizer import UniformQuantizer, quantization_error, quantize_model
+
+__all__ = [
+    "UniformQuantizer",
+    "quantize_model",
+    "quantization_error",
+    "QuantizedDropBack",
+    "QuantizedSGD",
+]

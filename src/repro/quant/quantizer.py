@@ -1,0 +1,101 @@
+"""Uniform quantization of weight tensors.
+
+The paper's related-work section points out that quantization is orthogonal
+to DropBack and "the two techniques can be combined": DropBack shrinks the
+*number* of stored weights, quantization shrinks the *bits per weight*.
+This module provides the quantizers; :mod:`repro.quant.qat` applies them
+during training.
+
+Two rounding modes:
+
+* deterministic (round-to-nearest) — used post-training;
+* stochastic (Gupta et al., 2015) — used during training so that the
+  expected quantized value equals the real value, which keeps SGD unbiased
+  at low precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UniformQuantizer", "quantize_model", "quantization_error"]
+
+
+class UniformQuantizer:
+    """Symmetric uniform quantizer with a power-of-two-free scale.
+
+    Values are mapped to ``bits``-bit signed integers in
+    ``[-2^(b-1)+1, 2^(b-1)-1]`` with scale chosen per tensor from its max
+    absolute value.
+
+    Parameters
+    ----------
+    bits:
+        Bit width (2-16).
+    stochastic:
+        Use stochastic rounding (unbiased; for training).
+    seed:
+        Seed for the stochastic-rounding generator.
+    """
+
+    def __init__(self, bits: int = 8, stochastic: bool = False, seed: int = 0):
+        if not 2 <= bits <= 16:
+            raise ValueError(f"bits must be in [2, 16], got {bits}")
+        self.bits = int(bits)
+        self.stochastic = bool(stochastic)
+        self.qmax = 2 ** (bits - 1) - 1
+        self._rng = np.random.default_rng(seed)
+
+    def scale_for(self, values: np.ndarray) -> float:
+        """Per-tensor scale mapping the max magnitude onto the int range."""
+        m = float(np.abs(values).max()) if values.size else 0.0
+        return m / self.qmax if m > 0 else 1.0
+
+    def quantize(self, values: np.ndarray, scale: float | None = None) -> tuple[np.ndarray, float]:
+        """Quantize to integers; returns ``(int_values, scale)``."""
+        values = np.asarray(values, dtype=np.float64)
+        scale = self.scale_for(values) if scale is None else float(scale)
+        x = values / scale
+        if self.stochastic:
+            floor = np.floor(x)
+            frac = x - floor
+            q = floor + (self._rng.random(x.shape) < frac)
+        else:
+            q = np.round(x)
+        q = np.clip(q, -self.qmax, self.qmax)
+        return q.astype(np.int32), scale
+
+    def dequantize(self, q: np.ndarray, scale: float) -> np.ndarray:
+        """Map integers back to float32 values."""
+        return (np.asarray(q, dtype=np.float64) * scale).astype(np.float32)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize in one call (the storage-precision view)."""
+        q, scale = self.quantize(values)
+        return self.dequantize(q, scale)
+
+    def __repr__(self) -> str:
+        mode = "stochastic" if self.stochastic else "nearest"
+        return f"UniformQuantizer(bits={self.bits}, {mode})"
+
+
+def quantize_model(model, bits: int = 8) -> dict[str, float]:
+    """Post-training quantization: snap every parameter to ``bits`` bits.
+
+    Mutates the model in place (weights become dequantized low-precision
+    values).  Returns the per-parameter scales.
+    """
+    quant = UniformQuantizer(bits=bits, stochastic=False)
+    scales: dict[str, float] = {}
+    for name, p in model.named_parameters():
+        q, scale = quant.quantize(p.data)
+        p.data = quant.dequantize(q, scale)
+        scales[name] = scale
+    return scales
+
+
+def quantization_error(values: np.ndarray, bits: int) -> float:
+    """RMS error introduced by quantizing ``values`` to ``bits`` bits."""
+    quant = UniformQuantizer(bits=bits)
+    back = quant.roundtrip(values)
+    return float(np.sqrt(np.mean((np.asarray(values, np.float64) - back) ** 2)))

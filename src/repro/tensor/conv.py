@@ -1,0 +1,180 @@
+"""Convolution and pooling primitives for the autograd engine.
+
+Convolution is implemented via explicit patch extraction ("im2col") with a
+small Python loop over the kernel footprint (KH x KW iterations, each a
+vectorized strided slice) and a single batched matmul.  The backward pass
+mirrors it: a matmul for the weight gradient and a scatter-add ("col2im")
+for the input gradient.  This keeps the hot path inside BLAS, per the
+numpy-first performance guidance.
+
+All tensors are NCHW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d", "conv_out_size"]
+
+
+def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (in_size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"empty conv output: in={in_size}, kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def _im2col(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int, oh: int, ow: int) -> np.ndarray:
+    """Extract conv patches: (N, C, H, W) -> (N, C*KH*KW, OH*OW)."""
+    n, c = xp.shape[:2]
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=xp.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = xp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    oh: int,
+    ow: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add patches back: inverse of :func:`_im2col` (gradient flow)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    xg = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        for j in range(kw):
+            xg[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols[:, :, i, j]
+    if pad:
+        xg = xg[:, :, pad:-pad, pad:-pad]
+    return xg
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) with optional bias.
+
+    Parameters
+    ----------
+    x:
+        Input tensor, shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel tensor, shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias, shape ``(C_out,)``.
+    stride, pad:
+        Stride and symmetric zero-padding on both spatial axes.
+    """
+    n, c, h, w = x.shape
+    f, c2, kh, kw = weight.shape
+    if c != c2:
+        raise ValueError(f"channel mismatch: input has {c}, kernel expects {c2}")
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+
+    xp = np.pad(x.data, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x.data
+    cols = _im2col(xp, kh, kw, stride, stride, oh, ow)  # (N, C*KH*KW, OH*OW)
+    w_flat = weight.data.reshape(f, -1)  # (F, C*KH*KW)
+    out_data = np.matmul(w_flat, cols).reshape(n, f, oh, ow)
+    if bias is not None:
+        out_data += bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g, out=None):
+        g2 = g.reshape(n, f, oh * ow)  # (N, F, OH*OW)
+        if bias is not None and bias.requires_grad:
+            out._accumulate(bias, g2.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            # Sum over batch of (F, OH*OW) @ (OH*OW, C*KH*KW)
+            gw = np.einsum("nfo,nko->fk", g2, cols, optimize=True)
+            out._accumulate(weight, gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = np.matmul(w_flat.T, g2)  # (N, C*KH*KW, OH*OW)
+            out._accumulate(x, _col2im(gcols, x.shape, kh, kw, stride, stride, oh, ow, pad))
+
+    out = Tensor.from_op(out_data, parents, lambda g: backward(g, out))
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, 0)
+    ow = conv_out_size(w, kernel, stride, 0)
+
+    # Stack window candidates along a new axis and take the argmax.
+    cand = np.empty((kernel * kernel, n, c, oh, ow), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            cand[i * kernel + j] = x.data[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    arg = cand.argmax(axis=0)  # (N, C, OH, OW), values in [0, K*K)
+    out_data = np.take_along_axis(cand, arg[None], axis=0)[0]
+
+    def backward(g, out=None):
+        if x.requires_grad:
+            xg = np.zeros_like(x.data)
+            for win in range(kernel * kernel):
+                i, j = divmod(win, kernel)
+                mask = arg == win
+                xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += g * mask
+            out._accumulate(x, xg)
+
+    out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, 0)
+    ow = conv_out_size(w, kernel, stride, 0)
+    inv = 1.0 / (kernel * kernel)
+
+    out_data = np.zeros((n, c, oh, ow), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            out_data += x.data[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+    out_data *= inv
+
+    def backward(g, out=None):
+        if x.requires_grad:
+            xg = np.zeros_like(x.data)
+            gi = g * inv
+            for i in range(kernel):
+                for j in range(kernel):
+                    xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += gi
+            out._accumulate(x, xg)
+
+    out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
+    return out
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial axes: (N, C, H, W) -> (N, C)."""
+    n, c, h, w = x.shape
+    out_data = x.data.mean(axis=(2, 3))
+    inv = 1.0 / (h * w)
+
+    def backward(g, out=None):
+        if x.requires_grad:
+            out._accumulate(x, np.broadcast_to(g[:, :, None, None] * inv, x.shape).copy())
+
+    out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
+    return out

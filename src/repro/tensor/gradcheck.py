@@ -1,0 +1,96 @@
+"""Gradient checking against central finite differences.
+
+The public version of the verifier the test suite uses on every op: given
+a scalar-valued function of some tensors, compare the autograd gradients
+to central differences.  Useful for validating custom ops or layers built
+on :mod:`repro.tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["gradcheck", "numerical_gradient"]
+
+
+def numerical_gradient(
+    f: Callable[[], Tensor], t: Tensor, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``t``.
+
+    ``f`` must rebuild its graph on every call; ``t.data`` is perturbed in
+    place and restored.
+    """
+    grad = np.zeros_like(t.data)
+    it = np.nditer(t.data, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = t.data[i]
+        t.data[i] = old + eps
+        up = f().item()
+        t.data[i] = old - eps
+        down = f().item()
+        t.data[i] = old
+        grad[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    f: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-5,
+    tol: float = 1e-4,
+    raise_on_fail: bool = True,
+) -> bool:
+    """Verify autograd gradients of scalar ``f()`` for each tensor.
+
+    Parameters
+    ----------
+    f:
+        Zero-argument callable returning a scalar Tensor; must rebuild the
+        graph each call.
+    tensors:
+        Leaf tensors (``requires_grad=True``) to check.
+    eps:
+        Finite-difference step.
+    tol:
+        Maximum allowed relative error (scaled by the numerical gradient's
+        max magnitude).
+    raise_on_fail:
+        Raise ``AssertionError`` with details instead of returning False.
+
+    Returns
+    -------
+    True when all gradients match within tolerance.
+    """
+    if not tensors:
+        raise ValueError("no tensors to check")
+    for t in tensors:
+        if not t.requires_grad:
+            raise ValueError("all checked tensors must require grad")
+        t.grad = None
+    out = f()
+    if out.size != 1:
+        raise ValueError("f() must return a scalar tensor")
+    out.backward()
+    ok = True
+    for idx, t in enumerate(tensors):
+        if t.grad is None:
+            msg = f"tensor #{idx}: no gradient reached it"
+            if raise_on_fail:
+                raise AssertionError(msg)
+            return False
+        num = numerical_gradient(f, t, eps=eps)
+        scale = np.abs(num).max() + 1e-8
+        err = np.abs(num - t.grad).max() / scale
+        if err > tol:
+            msg = f"tensor #{idx}: gradient mismatch, rel err {err:.3e} > {tol:.1e}"
+            if raise_on_fail:
+                raise AssertionError(msg)
+            ok = False
+        t.grad = None
+    return ok

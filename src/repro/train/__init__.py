@@ -1,0 +1,22 @@
+"""Training loop, metrics, and callbacks."""
+
+from repro.train.callbacks import (
+    Callback,
+    FreezeCallback,
+    LambdaCallback,
+    WeightSnapshotCallback,
+)
+from repro.train.metrics import accuracy, error_rate, evaluate
+from repro.train.trainer import History, Trainer
+
+__all__ = [
+    "Trainer",
+    "History",
+    "Callback",
+    "FreezeCallback",
+    "WeightSnapshotCallback",
+    "LambdaCallback",
+    "accuracy",
+    "error_rate",
+    "evaluate",
+]

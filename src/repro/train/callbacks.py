@@ -1,0 +1,116 @@
+"""Training callbacks.
+
+Callbacks observe the training loop at epoch and step boundaries.  The
+reproduction uses them for the paper's instrumentation: freezing DropBack's
+tracked set at a chosen epoch, recording weight-diffusion distance (Fig. 5),
+snapshotting weights for the PCA trajectories (Fig. 6), and logging
+tracked-set churn (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.train.trainer import Trainer
+
+__all__ = ["Callback", "FreezeCallback", "WeightSnapshotCallback", "LambdaCallback"]
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None: ...
+
+    def on_epoch_begin(self, trainer: "Trainer", epoch: int) -> None: ...
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None: ...
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None: ...
+
+    def on_train_end(self, trainer: "Trainer") -> None: ...
+
+
+class FreezeCallback(Callback):
+    """Freeze a DropBack optimizer's tracked set after ``freeze_epoch`` epochs.
+
+    Matches the paper's "Freeze Epoch" column in Table 1: the tracked set is
+    re-selected every step up to and including epoch ``freeze_epoch - 1``
+    (0-based), then frozen.
+    """
+
+    def __init__(self, freeze_epoch: int):
+        if freeze_epoch < 1:
+            raise ValueError(f"freeze_epoch must be >= 1, got {freeze_epoch}")
+        self.freeze_epoch = int(freeze_epoch)
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None:
+        opt = trainer.optimizer
+        if epoch + 1 == self.freeze_epoch and hasattr(opt, "freeze") and not opt.frozen:
+            opt.freeze()
+            logs["froze_tracked_set"] = True
+
+
+class WeightSnapshotCallback(Callback):
+    """Record a flat copy of all weights at a step cadence.
+
+    Feeds the diffusion (Fig. 5) and PCA-trajectory (Fig. 6) analyses.
+    ``log_spaced=True`` snapshots on a log-spaced step grid, matching the
+    paper's log-scale x-axis while bounding memory.
+    """
+
+    def __init__(self, every: int = 1, log_spaced: bool = False, max_snapshots: int = 200):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self.log_spaced = bool(log_spaced)
+        self.max_snapshots = int(max_snapshots)
+        self.steps: list[int] = []
+        self.snapshots: list[np.ndarray] = []
+        self._next_log_step = 1
+
+    def _flat_weights(self, trainer: "Trainer") -> np.ndarray:
+        return np.concatenate([p.data.reshape(-1) for p in trainer.model.parameters()])
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        self.steps.append(0)
+        self.snapshots.append(self._flat_weights(trainer))
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        if len(self.snapshots) >= self.max_snapshots:
+            return
+        if self.log_spaced:
+            if step + 1 >= self._next_log_step:
+                self.steps.append(step + 1)
+                self.snapshots.append(self._flat_weights(trainer))
+                self._next_log_step = max(self._next_log_step + 1, int(self._next_log_step * 1.3))
+        elif (step + 1) % self.every == 0:
+            self.steps.append(step + 1)
+            self.snapshots.append(self._flat_weights(trainer))
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(steps, snapshot_matrix)`` with one row per snapshot."""
+        return np.asarray(self.steps), np.stack(self.snapshots)
+
+
+class LambdaCallback(Callback):
+    """Wrap ad-hoc functions as a callback."""
+
+    def __init__(self, on_epoch_end=None, on_step_end=None, on_train_begin=None):
+        self._epoch_end = on_epoch_end
+        self._step_end = on_step_end
+        self._train_begin = on_train_begin
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        if self._train_begin:
+            self._train_begin(trainer)
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        if self._step_end:
+            self._step_end(trainer, step, loss)
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None:
+        if self._epoch_end:
+            self._epoch_end(trainer, epoch, logs)

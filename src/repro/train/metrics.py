@@ -1,0 +1,44 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import DataLoader, Dataset
+from repro.nn import Module
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["accuracy", "error_rate", "evaluate"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of argmax predictions matching integer labels."""
+    preds = np.asarray(logits).argmax(axis=-1)
+    return float((preds == np.asarray(labels)).mean())
+
+
+def error_rate(logits: np.ndarray, labels: np.ndarray) -> float:
+    """1 - accuracy (the paper reports validation *error*)."""
+    return 1.0 - accuracy(logits, labels)
+
+
+def evaluate(model: Module, data: Dataset | DataLoader, batch_size: int = 256) -> float:
+    """Validation accuracy of a model over a dataset (eval mode, no grad)."""
+    loader = (
+        data
+        if isinstance(data, DataLoader)
+        else DataLoader(data, batch_size=batch_size, shuffle=False)
+    )
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for xb, yb in loader:
+            logits = model(Tensor(xb)).numpy()
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+            total += len(yb)
+    model.train(was_training)
+    if total == 0:
+        raise ValueError("empty evaluation dataset")
+    return correct / total

@@ -1,0 +1,5 @@
+"""Shared utilities (report formatting)."""
+
+from repro.utils.reporting import ascii_series, format_percent, format_ratio, format_table
+
+__all__ = ["format_table", "format_percent", "format_ratio", "ascii_series"]

@@ -1,0 +1,46 @@
+"""Determinism helpers: stable digests of model state.
+
+Everything in this reproduction is deterministic given its seeds — the
+xorshift initialization, the data generators, the shuffle order, even the
+dropout masks.  :func:`weights_digest` turns a model's full parameter state
+into a short stable hash so tests can pin golden values and catch any
+change to initialization or training numerics, and experiment logs can
+record exactly which weights produced a number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.nn import Module
+
+__all__ = ["weights_digest", "array_digest"]
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Hex digest of an array's dtype, shape, and exact bytes."""
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def weights_digest(model: Module, include_buffers: bool = True) -> str:
+    """Hex digest of all parameters (and, optionally, buffers) of a model.
+
+    Parameters are folded in named order, so two models agree iff their
+    architectures and every stored value agree bit-for-bit.
+    """
+    h = hashlib.sha256()
+    for name, p in model.named_parameters():
+        h.update(name.encode())
+        h.update(array_digest(p.data).encode())
+    if include_buffers:
+        for mod_name, buf_name, buf in model._named_buffers():
+            h.update(f"{mod_name}{buf_name}".encode())
+            h.update(array_digest(buf).encode())
+    return h.hexdigest()

@@ -1,0 +1,95 @@
+"""Experiment logging: append-only JSONL run records.
+
+The bench harness and examples print human tables; this logger persists
+machine-readable records so runs can be aggregated later (the EXPERIMENTS.md
+paper-vs-measured index is assembled from these).
+
+Each record is one JSON object per line with a standard envelope
+(experiment, config, metrics, monotonic sequence number); readers get the
+records back as dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+__all__ = ["ExperimentLogger", "read_log"]
+
+
+class ExperimentLogger:
+    """Append experiment records to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Target file; parent directories are created.
+    experiment:
+        Experiment name stamped on every record (e.g. ``"table1"``).
+    """
+
+    def __init__(self, path: str, experiment: str):
+        if not experiment:
+            raise ValueError("experiment name must be non-empty")
+        self.path = str(path)
+        self.experiment = experiment
+        self._seq = 0
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+
+    def log(self, config: dict[str, Any], metrics: dict[str, Any]) -> dict[str, Any]:
+        """Append one record; returns the full record written."""
+        record = {
+            "experiment": self.experiment,
+            "seq": self._seq,
+            "config": _jsonable(config),
+            "metrics": _jsonable(metrics),
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._seq += 1
+        return record
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays into JSON-serializable structures."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def read_log(path: str, experiment: str | None = None) -> list[dict[str, Any]]:
+    """Read all records from a JSONL log, optionally filtered by experiment."""
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"corrupt log line {line_no} in {path}: {exc}") from exc
+            if experiment is None or rec.get("experiment") == experiment:
+                records.append(rec)
+    return records
+
+
+def iter_metrics(path: str, experiment: str, key: str) -> Iterator[Any]:
+    """Yield one metric value per record of an experiment."""
+    for rec in read_log(path, experiment):
+        if key in rec["metrics"]:
+            yield rec["metrics"][key]

@@ -1,0 +1,59 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benches print the paper's tables side by side with measured values;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent", "format_ratio", "ascii_series"]
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    """Render 0.0142 as ``1.42%``."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def format_ratio(ratio: float, digits: int = 1) -> str:
+    """Render 13.333 as ``13.3x``."""
+    if ratio == float("inf"):
+        return "inf"
+    return f"{ratio:.{digits}f}x"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Left-padded monospace table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_series(values: Sequence[float], width: int = 60, height: int = 12,
+                 label: str = "") -> str:
+    """Tiny ASCII line chart for printing figure series in bench output."""
+    vals = list(values)
+    if not vals:
+        return "(empty series)"
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    # Downsample/stretch to the target width.
+    idx = [int(i * (len(vals) - 1) / max(width - 1, 1)) for i in range(min(width, max(len(vals), 1)))]
+    cols = [vals[i] for i in idx]
+    grid = [[" "] * len(cols) for _ in range(height)]
+    for x, v in enumerate(cols):
+        y = int(round((v - lo) / span * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    out = []
+    if label:
+        out.append(label)
+    out.append(f"{hi:.4g}".rjust(10))
+    out.extend("".join(row) for row in grid)
+    out.append(f"{lo:.4g}".rjust(10))
+    return "\n".join(out)

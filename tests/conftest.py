@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, synth_cifar, synth_mnist
+from repro.tensor import Tensor
+
+
+def finite_difference_check(f, tensors, eps: float = 1e-5, tol: float = 1e-4) -> None:
+    """Assert analytic gradients of scalar ``f()`` match central differences.
+
+    ``f`` must rebuild the graph on each call (tensors are perturbed in
+    place between calls).
+    """
+    out = f()
+    for t in tensors:
+        t.grad = None
+    out = f()
+    out.backward()
+    for t in tensors:
+        assert t.grad is not None, "no gradient reached a checked tensor"
+        num = np.zeros_like(t.data)
+        it = np.nditer(t.data, flags=["multi_index"])
+        for _ in it:
+            i = it.multi_index
+            old = t.data[i]
+            t.data[i] = old + eps
+            up = f().item()
+            t.data[i] = old - eps
+            dn = f().item()
+            t.data[i] = old
+            num[i] = (up - dn) / (2 * eps)
+        scale = np.abs(num).max() + 1e-8
+        err = np.abs(num - t.grad).max() / scale
+        assert err < tol, f"gradient mismatch: rel err {err:.2e}"
+        t.grad = None
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist() -> tuple[Dataset, Dataset]:
+    """Small synthetic-MNIST pair reused across tests (session-cached)."""
+    return synth_mnist(n_train=600, n_test=200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_cifar() -> tuple[Dataset, Dataset]:
+    """Small synthetic-CIFAR pair at reduced resolution."""
+    return synth_cifar(n_train=300, n_test=100, seed=3, size=16)
+
+
+def rand_tensor(rng, shape, requires_grad=True, dtype=np.float64) -> Tensor:
+    return Tensor(rng.normal(size=shape).astype(dtype), requires_grad=requires_grad)

@@ -1,0 +1,79 @@
+"""Tests for the extra activation functions (leaky ReLU, ELU, softplus, GELU)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, elu, gelu, leaky_relu, softplus
+from tests.conftest import finite_difference_check, rand_tensor
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        x = Tensor(np.array([-2.0, 3.0]))
+        np.testing.assert_allclose(leaky_relu(x, 0.1).numpy(), [-0.2, 3.0])
+
+    def test_gradient(self, rng):
+        x = rand_tensor(rng, (5,))
+        finite_difference_check(lambda: (leaky_relu(x, 0.2) ** 2).sum(), [x])
+
+    def test_zero_slope_is_relu(self, rng):
+        x = Tensor(rng.normal(size=8))
+        np.testing.assert_allclose(leaky_relu(x, 0.0).numpy(), x.relu().numpy())
+
+
+class TestELU:
+    def test_positive_identity(self):
+        x = Tensor(np.array([1.0, 5.0]))
+        np.testing.assert_allclose(elu(x).numpy(), [1.0, 5.0])
+
+    def test_negative_saturates_at_minus_alpha(self):
+        x = Tensor(np.array([-100.0]))
+        assert elu(x, alpha=1.5).numpy()[0] == pytest.approx(-1.5, abs=1e-6)
+
+    def test_continuous_at_zero(self):
+        x = Tensor(np.array([-1e-7, 1e-7]))
+        out = elu(x).numpy()
+        assert abs(out[0] - out[1]) < 1e-6
+
+    def test_gradient(self, rng):
+        x = rand_tensor(rng, (6,))
+        finite_difference_check(lambda: (elu(x, 1.2) ** 2).sum(), [x])
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self, rng):
+        x = Tensor(rng.normal(size=100))
+        assert np.all(softplus(x).numpy() > 0)
+
+    def test_large_input_linear(self):
+        x = Tensor(np.array([50.0]))
+        assert softplus(x).numpy()[0] == pytest.approx(50.0, abs=1e-6)
+
+    def test_stable_for_extreme_inputs(self):
+        x = Tensor(np.array([-1000.0, 1000.0]))
+        out = softplus(x).numpy()
+        assert np.all(np.isfinite(out))
+
+    def test_gradient_is_sigmoid(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        softplus(x).sum().backward()
+        assert x.grad[0] == pytest.approx(0.5)
+
+    def test_gradient_fd(self, rng):
+        x = rand_tensor(rng, (5,))
+        finite_difference_check(lambda: (softplus(x) ** 2).sum(), [x])
+
+
+class TestGELU:
+    def test_zero_at_zero(self):
+        assert gelu(Tensor(np.array([0.0]))).numpy()[0] == 0.0
+
+    def test_positive_large_identity(self):
+        assert gelu(Tensor(np.array([10.0]))).numpy()[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_negative_large_vanishes(self):
+        assert gelu(Tensor(np.array([-10.0]))).numpy()[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_gradient_fd(self, rng):
+        x = rand_tensor(rng, (6,))
+        finite_difference_check(lambda: (gelu(x) ** 2).sum(), [x])

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import MODELS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "mnist-100-100"
+        assert args.optimizer == "dropback"
+        assert args.compression == 4.5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "alexnet"])
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--optimizer", "adam"])
+
+
+class TestCommands:
+    def test_info_lists_all_models(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in MODELS:
+            assert name in out
+        assert "36,479,194" in out  # WRN-28-10 paper-scale count
+
+    def test_energy_output(self, capsys):
+        assert main(["energy", "--model", "mnist-100-100", "--compression", "10",
+                     "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+        assert "10.0x" in out
+
+    @pytest.mark.parametrize("optimizer", ["sgd", "dropback", "dropback-q8", "magnitude",
+                                           "gradual", "dsd"])
+    def test_train_every_optimizer_smoke(self, optimizer, capsys):
+        code = main([
+            "train", "--model", "mnist-100-100", "--optimizer", optimizer,
+            "--epochs", "1", "--train-size", "300", "--compression", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best validation error" in out
+
+    def test_train_conv_model_smoke(self, capsys):
+        code = main([
+            "train", "--model", "densenet-tiny", "--optimizer", "dropback",
+            "--epochs", "1", "--train-size", "200", "--lr", "0.1",
+            "--image-size", "16",
+        ])
+        assert code == 0
+
+    def test_train_with_freeze(self, capsys):
+        code = main([
+            "train", "--model", "mnist-100-100", "--optimizer", "dropback",
+            "--epochs", "2", "--train-size", "300", "--freeze-epoch", "1",
+        ])
+        assert code == 0

@@ -1,0 +1,29 @@
+"""Parametrized CLI coverage: energy analysis across the full model zoo."""
+
+import pytest
+
+from repro.cli import MODELS, main
+
+
+class TestEnergyAcrossModels:
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_energy_runs_for_every_model(self, model, capsys):
+        assert main(["energy", "--model", model, "--compression", "5",
+                     "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+        assert "5.0x" in out
+
+    @pytest.mark.parametrize("compression", ["1.5", "20", "100"])
+    def test_energy_compression_sweep(self, compression, capsys):
+        assert main(["energy", "--model", "mnist-100-100",
+                     "--compression", compression, "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stored weights" in out
+
+    def test_saving_reflects_compression(self, capsys):
+        main(["energy", "--model", "lenet-300-100", "--compression", "10",
+              "--steps", "1"])
+        out = capsys.readouterr().out
+        # 266,610 / 10 = 26,661 stored weights.
+        assert "26,661" in out

@@ -1,0 +1,174 @@
+"""Tests for convolution and pooling ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    conv_out_size,
+    global_avg_pool2d,
+    max_pool2d,
+    pad2d,
+    concat,
+)
+from tests.conftest import finite_difference_check, rand_tensor
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize(
+        "inp,k,s,p,expected",
+        [(32, 3, 1, 1, 32), (32, 3, 2, 1, 16), (28, 5, 1, 0, 24), (8, 2, 2, 0, 4)],
+    )
+    def test_sizes(self, inp, k, s, p, expected):
+        assert conv_out_size(inp, k, s, p) == expected
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestConv2dForward:
+    def test_identity_kernel(self):
+        # 1x1 kernel with identity channel mixing reproduces the input.
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 4, 4)).astype(np.float32))
+        w = Tensor(np.eye(2, dtype=np.float32).reshape(2, 2, 1, 1))
+        out = conv2d(x, w, None)
+        np.testing.assert_allclose(out.numpy(), x.numpy(), rtol=1e-6)
+
+    def test_known_sum_kernel(self):
+        # All-ones 2x2 kernel computes local window sums.
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        w = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = conv2d(x, w, None).numpy()[0, 0]
+        assert out[0, 0] == 0 + 1 + 4 + 5
+        assert out[2, 2] == 10 + 11 + 14 + 15
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        w = Tensor(np.zeros((2, 1, 1, 1), dtype=np.float32))
+        b = Tensor(np.array([1.5, -2.0], dtype=np.float32))
+        out = conv2d(x, w, b).numpy()
+        np.testing.assert_allclose(out[0, 0], 1.5)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_stride_downsamples(self):
+        x = Tensor(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        assert conv2d(x, w, None, stride=2, pad=1).shape == (1, 1, 4, 4)
+
+    def test_padding_preserves_size(self):
+        x = Tensor(np.zeros((1, 1, 7, 7), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        assert conv2d(x, w, None, stride=1, pad=1).shape == (1, 1, 7, 7)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((1, 2, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            conv2d(x, w, None)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float64)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float64)
+        out = conv2d(Tensor(x), Tensor(w), None, stride=1, pad=0).numpy()
+        # naive quadruple loop
+        ref = np.zeros((2, 4, 3, 3))
+        for n in range(2):
+            for f in range(4):
+                for i in range(3):
+                    for j in range(3):
+                        ref[n, f, i, j] = (x[n, :, i : i + 3, j : j + 3] * w[f]).sum()
+        np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+
+class TestConv2dGradients:
+    def test_grad_all_inputs(self, rng):
+        x = rand_tensor(rng, (2, 2, 5, 5))
+        w = rand_tensor(rng, (3, 2, 3, 3))
+        b = rand_tensor(rng, (3,))
+        finite_difference_check(lambda: (conv2d(x, w, b, stride=1, pad=1) ** 2).sum(), [x, w, b])
+
+    def test_grad_strided(self, rng):
+        x = rand_tensor(rng, (1, 2, 6, 6))
+        w = rand_tensor(rng, (2, 2, 3, 3))
+        finite_difference_check(lambda: (conv2d(x, w, None, stride=2, pad=1) ** 2).sum(), [x, w])
+
+    def test_grad_1x1(self, rng):
+        x = rand_tensor(rng, (2, 3, 4, 4))
+        w = rand_tensor(rng, (5, 3, 1, 1))
+        finite_difference_check(lambda: (conv2d(x, w, None) ** 2).sum(), [x, w])
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2).numpy()[0, 0]
+        np.testing.assert_allclose(out, [[5, 7], [13, 15]])
+
+    def test_gradient_routes_to_max(self, rng):
+        x = rand_tensor(rng, (2, 2, 4, 4))
+        finite_difference_check(lambda: (max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_overlapping_stride(self, rng):
+        x = rand_tensor(rng, (1, 1, 5, 5))
+        out = max_pool2d(x, 3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        finite_difference_check(lambda: (max_pool2d(x, 3, stride=1) ** 2).sum(), [x])
+
+
+class TestAvgPool:
+    def test_forward_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2).numpy()[0, 0]
+        np.testing.assert_allclose(out, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradient(self, rng):
+        x = rand_tensor(rng, (2, 2, 4, 4))
+        finite_difference_check(lambda: (avg_pool2d(x, 2) ** 2).sum(), [x])
+
+
+class TestGlobalAvgPool:
+    def test_forward(self):
+        x = Tensor(np.ones((2, 3, 4, 4), dtype=np.float32) * 2.0)
+        out = global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.numpy(), 2.0)
+
+    def test_gradient(self, rng):
+        x = rand_tensor(rng, (2, 3, 3, 3))
+        finite_difference_check(lambda: (global_avg_pool2d(x) ** 2).sum(), [x])
+
+
+class TestPadConcat:
+    def test_pad2d_shape(self):
+        x = Tensor(np.ones((1, 2, 3, 3), dtype=np.float32))
+        assert pad2d(x, 2).shape == (1, 2, 7, 7)
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert pad2d(x, 0) is x
+
+    def test_pad2d_gradient(self, rng):
+        x = rand_tensor(rng, (1, 1, 3, 3))
+        finite_difference_check(lambda: (pad2d(x, 1) ** 2).sum(), [x])
+
+    def test_concat_forward(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.numpy()[:, :2], 1.0)
+        np.testing.assert_allclose(out.numpy()[:, 2:], 0.0)
+
+    def test_concat_gradient(self, rng):
+        a = rand_tensor(rng, (2, 2))
+        b = rand_tensor(rng, (2, 3))
+        finite_difference_check(lambda: (concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_concat_axis0_gradient(self, rng):
+        a = rand_tensor(rng, (2, 3))
+        b = rand_tensor(rng, (1, 3))
+        finite_difference_check(lambda: (concat([a, b], axis=0) ** 2).sum(), [a, b])

@@ -1,0 +1,167 @@
+"""Tests for the DSD and gradual-magnitude-pruning extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.models import mlp, mnist_100_100
+from repro.optim import ConstantLR
+from repro.prune import DSD, GradualMagnitudePruning, cubic_sparsity_schedule
+from repro.tensor import Tensor, cross_entropy
+from repro.train import Trainer
+
+
+def _step(model, opt, seed=0, in_dim=6, classes=3):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(16, in_dim)).astype(np.float32))
+    y = rng.integers(0, classes, size=16)
+    model.zero_grad()
+    loss = cross_entropy(model(x), y)
+    loss.backward()
+    opt.step()
+
+
+class TestDSD:
+    def _model(self):
+        return mlp(6, (8,), 3).finalize(1)
+
+    def test_phase_schedule(self):
+        opt = DSD(self._model(), lr=0.1, dense_steps=3, sparse_steps=2, cycles=2)
+        phases = []
+        for s in range(12):
+            phases.append(opt.phase)
+            _step(opt.model, opt, seed=s)
+        assert phases[:5] == ["dense"] * 3 + ["sparse"] * 2
+        assert phases[5:10] == ["dense"] * 3 + ["sparse"] * 2
+        assert phases[10:] == ["dense"] * 2  # final refinement stays dense
+
+    def test_sparse_phase_enforces_sparsity(self):
+        m = self._model()
+        opt = DSD(m, lr=0.1, sparsity=0.5, dense_steps=2, sparse_steps=3)
+        for s in range(4):  # 2 dense + 2 sparse steps
+            _step(m, opt, seed=s)
+        assert opt.sparsity_now() == pytest.approx(0.5, abs=0.02)
+
+    def test_dense_refinement_revives_weights(self):
+        m = self._model()
+        opt = DSD(m, lr=0.5, sparsity=0.5, dense_steps=2, sparse_steps=2, cycles=1)
+        for s in range(4):
+            _step(m, opt, seed=s)
+        assert opt.sparsity_now() > 0.4
+        for s in range(4, 8):  # final dense phase
+            _step(m, opt, seed=s)
+        assert opt.sparsity_now() < 0.4  # weights trained away from zero
+
+    def test_mask_frozen_within_sparse_phase(self):
+        m = self._model()
+        opt = DSD(m, lr=0.1, sparsity=0.5, dense_steps=1, sparse_steps=3)
+        _step(m, opt, seed=0)  # dense
+        _step(m, opt, seed=1)  # first sparse step builds mask
+        mask1 = [d.copy() for d in opt._mask]
+        _step(m, opt, seed=2)
+        for a, b in zip(mask1, opt._mask):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"sparsity": 0.0},
+            {"sparsity": 1.0},
+            {"dense_steps": 0},
+            {"sparse_steps": 0},
+            {"cycles": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        defaults = dict(sparsity=0.5, dense_steps=1, sparse_steps=1, cycles=1)
+        defaults.update(kw)
+        with pytest.raises(ValueError):
+            DSD(self._model(), lr=0.1, **defaults)
+
+    def test_trains_mnist(self, tiny_mnist):
+        train, test = tiny_mnist
+        m = mnist_100_100().finalize(7)
+        opt = DSD(m, lr=0.4, sparsity=0.3, dense_steps=20, sparse_steps=20)
+        h = Trainer(m, opt, schedule=ConstantLR(0.4)).fit(
+            DataLoader(train, 64, seed=0), test, epochs=4
+        )
+        assert h.best_val_accuracy > 0.8
+
+
+class TestCubicSchedule:
+    def test_endpoints(self):
+        assert cubic_sparsity_schedule(0, 0.75, 100) == 0.0
+        assert cubic_sparsity_schedule(100, 0.75, 100) == pytest.approx(0.75)
+        assert cubic_sparsity_schedule(1000, 0.75, 100) == pytest.approx(0.75)
+
+    def test_monotone_increasing(self):
+        vals = [cubic_sparsity_schedule(t, 0.9, 50) for t in range(0, 60, 5)]
+        assert vals == sorted(vals)
+
+    def test_cubic_shape_front_loaded(self):
+        # The cubic ramp prunes faster early than a linear ramp would.
+        half = cubic_sparsity_schedule(50, 0.8, 100)
+        assert half > 0.8 * 0.5
+
+    def test_begin_step_offset(self):
+        assert cubic_sparsity_schedule(5, 0.5, 10, begin_step=10) == 0.0
+        assert cubic_sparsity_schedule(20, 0.5, 10, begin_step=10) == pytest.approx(0.5)
+
+
+class TestGradualMagnitudePruning:
+    def _model(self):
+        return mlp(6, (8,), 3).finalize(1)
+
+    def test_sparsity_ramps_up(self):
+        m = self._model()
+        opt = GradualMagnitudePruning(m, lr=0.1, final_sparsity=0.8, ramp_steps=20, prune_every=2)
+        sparsities = []
+        for s in range(24):
+            _step(m, opt, seed=s)
+            sparsities.append(opt.sparsity_now())
+        assert sparsities[-1] == pytest.approx(0.8, abs=0.05)
+        assert sparsities[2] < sparsities[-1]
+
+    def test_mask_is_monotone(self):
+        m = self._model()
+        opt = GradualMagnitudePruning(m, lr=0.1, final_sparsity=0.6, ramp_steps=10, prune_every=1)
+        dead_counts = []
+        for s in range(14):
+            _step(m, opt, seed=s)
+            dead_counts.append(sum(int(d.sum()) for d in opt._dead))
+        assert dead_counts == sorted(dead_counts)
+
+    def test_pruned_weights_stay_zero(self):
+        m = self._model()
+        opt = GradualMagnitudePruning(m, lr=0.5, final_sparsity=0.6, ramp_steps=6, prune_every=1)
+        for s in range(10):
+            _step(m, opt, seed=s)
+        dead = opt._dead[0]
+        assert np.all(m[1].weight.data[dead] == 0.0)
+
+    def test_compression_ratio(self):
+        m = self._model()
+        opt = GradualMagnitudePruning(m, lr=0.1, final_sparsity=0.75, ramp_steps=4, prune_every=1)
+        for s in range(8):
+            _step(m, opt, seed=s)
+        assert opt.compression_ratio > 2.0
+
+    @pytest.mark.parametrize(
+        "kw", [{"final_sparsity": 0.0}, {"final_sparsity": 1.0}, {"ramp_steps": 0}, {"prune_every": 0}]
+    )
+    def test_validation(self, kw):
+        defaults = dict(final_sparsity=0.5, ramp_steps=10, prune_every=1)
+        defaults.update(kw)
+        with pytest.raises(ValueError):
+            GradualMagnitudePruning(self._model(), lr=0.1, **defaults)
+
+    def test_trains_mnist(self, tiny_mnist):
+        train, test = tiny_mnist
+        m = mnist_100_100().finalize(7)
+        # 4 epochs x 10 steps: the ramp must complete within the run.
+        opt = GradualMagnitudePruning(m, lr=0.4, final_sparsity=0.75, ramp_steps=30, prune_every=5)
+        h = Trainer(m, opt, schedule=ConstantLR(0.4)).fit(
+            DataLoader(train, 64, seed=0), test, epochs=4
+        )
+        assert h.best_val_accuracy > 0.75
+        assert opt.sparsity_now() > 0.7

@@ -1,0 +1,100 @@
+"""Tests for the energy model — the paper's quantitative motivation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack
+from repro.energy import (
+    PJ_DRAM_ACCESS,
+    PJ_FLOAT_OP,
+    EnergyModel,
+    EnergyReport,
+)
+from repro.models import mnist_100_100
+from repro.optim import SGD
+from repro.optim.base import AccessCounter
+from repro.tensor import Tensor, cross_entropy
+
+
+class TestConstants:
+    def test_45nm_values(self):
+        # Han et al. 2016 numbers the paper quotes: 640 pJ vs 0.9 pJ.
+        assert PJ_DRAM_ACCESS == 640.0
+        assert PJ_FLOAT_OP == 0.9
+
+    def test_dram_vs_flop_over_700x(self):
+        # Paper Section 1: "over 700x more energy".
+        assert EnergyModel().dram_vs_flop_ratio > 700
+
+    def test_regen_cost_about_1_5pj(self):
+        # Paper Section 2.1: regeneration "amounts to about 1.5 pJ".
+        assert EnergyModel().regen_pj_per_value == pytest.approx(1.5, abs=0.01)
+
+    def test_regen_vs_dram_427x(self):
+        # Paper Sections 2.1 & 6: "427x less energy than a single off-chip
+        # memory access".
+        assert EnergyModel().regen_vs_dram_ratio == pytest.approx(427, abs=1)
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(pj_dram=-1)
+
+    def test_report_arithmetic(self):
+        c = AccessCounter(weight_reads=100, weight_writes=50, regenerations=1000, steps=2)
+        r = EnergyModel().report(c)
+        assert r.dram_pj == pytest.approx(150 * 640.0)
+        assert r.regen_pj == pytest.approx(1000 * 1.5)
+        assert r.total_pj == r.dram_pj + r.regen_pj
+        assert r.total_uj == pytest.approx(r.total_pj * 1e-6)
+        assert r.steps == 2
+
+    def test_report_str(self):
+        r = EnergyReport(dram_pj=1.0, regen_pj=2.0, steps=1)
+        assert "pJ" in str(r)
+
+    def test_training_ratio_validation(self):
+        em = EnergyModel()
+        empty = AccessCounter()
+        with pytest.raises(ValueError):
+            em.training_energy_ratio(AccessCounter(weight_reads=1), empty)
+
+
+class TestTrainingEnergyComparison:
+    def _train_one_epoch(self, opt_cls, **kw):
+        m = mnist_100_100().finalize(1)
+        opt = opt_cls(m, lr=0.4, **kw)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = Tensor(rng.normal(size=(32, 784)).astype(np.float32))
+            y = rng.integers(0, 10, size=32)
+            m.zero_grad()
+            loss = cross_entropy(m(x), y)
+            loss.backward()
+            opt.step()
+        return opt
+
+    def test_dropback_cuts_weight_memory_energy(self):
+        """The paper's headline: DropBack slashes training-time weight
+        traffic energy roughly in proportion to the compression ratio."""
+        sgd = self._train_one_epoch(SGD)
+        db = self._train_one_epoch(DropBack, k=5_000)
+        em = EnergyModel()
+        ratio = em.training_energy_ratio(sgd.counter, db.counter)
+        # 89,610 / 5,000 ≈ 17.9x compression; regen overhead trims it a bit.
+        assert ratio > 10.0
+
+    def test_ratio_tracks_budget(self):
+        db_small = self._train_one_epoch(DropBack, k=1_000)
+        db_large = self._train_one_epoch(DropBack, k=20_000)
+        em = EnergyModel()
+        sgd = self._train_one_epoch(SGD)
+        r_small = em.training_energy_ratio(sgd.counter, db_small.counter)
+        r_large = em.training_energy_ratio(sgd.counter, db_large.counter)
+        assert r_small > r_large
+
+    def test_regen_energy_far_below_saved_dram(self):
+        db = self._train_one_epoch(DropBack, k=5_000)
+        r = EnergyModel().report(db.counter)
+        assert r.regen_pj < 0.05 * r.dram_pj

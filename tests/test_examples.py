@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts (run with tiny arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        r = _run("quickstart.py", "--epochs", "2", "--train-size", "400",
+                 "--budget", "20000")
+        assert r.returncode == 0, r.stderr
+        assert "dropback error" in r.stdout
+        assert "restored model accuracy" in r.stdout
+
+    def test_embedded_training(self):
+        r = _run("embedded_training.py", "--epochs", "2", "--memory-kb", "16")
+        assert r.returncode == 0, r.stderr
+        assert "weight-memory energy vs dense SGD" in r.stdout
+        assert "flashable checkpoint" in r.stdout
+
+    def test_streaming_inference(self):
+        r = _run("streaming_inference.py", "--epochs", "2", "--compression", "10")
+        assert r.returncode == 0, r.stderr
+        assert "matches dense model: True" in r.stdout
+
+    def test_energy_estimation(self):
+        r = _run("energy_estimation.py", "--steps", "10")
+        assert r.returncode == 0, r.stderr
+        assert "427x cheaper" in r.stdout
+        assert "WRN-28-10" in r.stdout
+
+    def test_compression_sweep(self):
+        r = _run("compression_sweep.py", "--epochs", "2", "--train-size", "400",
+                 "--ratios", "2", "50")
+        assert r.returncode == 0, r.stderr
+        assert "knee" in r.stdout
+
+    @pytest.mark.slow
+    def test_cifar_pruning_comparison(self):
+        r = _run("cifar_pruning_comparison.py", "--epochs", "1", "--train-size", "300")
+        assert r.returncode == 0, r.stderr
+        assert "technique" in r.stdout

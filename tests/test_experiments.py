@@ -1,0 +1,127 @@
+"""Tests for the experiment registry and runner."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    RunConfig,
+    get_experiment,
+    list_experiments,
+    run_config,
+    run_experiment,
+)
+from repro.utils.explog import read_log
+
+
+class TestRegistry:
+    def test_experiments_registered(self):
+        names = list_experiments()
+        assert "table1" in names
+        assert "table3" in names
+        assert "ablation-zero" in names
+        assert "ablation-freeze" in names
+
+    def test_ablation_freeze_rows(self):
+        rows = get_experiment("ablation-freeze")
+        assert len(rows) == 6
+        assert {r.freeze_epoch for r in rows} == {1, 3, None}
+
+    def test_unknown_experiment_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("table99")
+
+    def test_table1_has_eight_rows(self):
+        rows = get_experiment("table1")
+        assert len(rows) == 8
+        baselines = [r for r in rows if r.technique == "sgd"]
+        assert len(baselines) == 2
+
+    def test_table1_paper_errors_recorded(self):
+        rows = get_experiment("table1")
+        by_name = {r.name: r for r in rows}
+        assert by_name["lenet-300-100/baseline"].paper_error == pytest.approx(0.0141)
+        assert by_name["mnist-100-100/dropback-60x"].paper_error == pytest.approx(0.0378)
+
+    def test_table3_covers_all_nets_and_techniques(self):
+        rows = get_experiment("table3")
+        models = {r.model for r in rows}
+        assert models == {"vgg-s-small", "densenet-tiny", "wrn-10-2"}
+        techniques = {r.technique for r in rows}
+        assert {"sgd", "dropback", "variational", "magnitude", "slimming"} <= techniques
+
+    def test_get_experiment_returns_copy(self):
+        a = get_experiment("table1")
+        a.pop()
+        assert len(get_experiment("table1")) == 8
+
+    def test_config_serializes(self):
+        cfg = get_experiment("table1")[0]
+        d = cfg.to_dict()
+        assert d["model"] == "lenet-300-100"
+        assert isinstance(d["compression"], float)
+
+
+class TestRunConfig:
+    def _cfg(self, **kw):
+        base = dict(
+            name="t", model="mnist-100-100", dataset="mnist",
+            technique="dropback", compression=10.0, epochs=1, lr=0.4,
+        )
+        base.update(kw)
+        return RunConfig(**base)
+
+    def test_dropback_run(self):
+        res = run_config(self._cfg(), scale=0.05)
+        assert 0.0 <= res.val_error <= 1.0
+        assert res.achieved_compression == pytest.approx(10.0, rel=0.01)
+        assert not res.diverged
+
+    def test_sgd_run(self):
+        res = run_config(self._cfg(technique="sgd"), scale=0.05)
+        assert res.achieved_compression == 1.0
+
+    def test_quantized_run(self):
+        res = run_config(self._cfg(technique="dropback-q8"), scale=0.05)
+        assert res.achieved_compression == pytest.approx(10.0, rel=0.01)
+
+    def test_magnitude_run(self):
+        res = run_config(self._cfg(technique="magnitude", compression=4.0), scale=0.05)
+        assert res.achieved_compression > 2.0
+
+    def test_zero_untracked_forwarded(self):
+        normal = run_config(self._cfg(compression=30.0, epochs=3), scale=0.1)
+        zeroed = run_config(
+            self._cfg(compression=30.0, epochs=3), scale=0.1, zero_untracked=True
+        )
+        assert zeroed.val_error > normal.val_error  # regeneration matters
+
+    def test_freeze_epoch_honoured(self):
+        res = run_config(self._cfg(epochs=2, freeze_epoch=1), scale=0.05)
+        assert not res.diverged
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            run_config(self._cfg(model="alexnet"), scale=0.05)
+
+    def test_logging(self, tmp_path):
+        from repro.utils.explog import ExperimentLogger
+
+        path = str(tmp_path / "runs.jsonl")
+        logger = ExperimentLogger(path, "unit")
+        run_config(self._cfg(), scale=0.05, logger=logger)
+        records = read_log(path)
+        assert len(records) == 1
+        assert records[0]["config"]["technique"] == "dropback"
+        assert "val_error" in records[0]["metrics"]
+
+
+class TestRunExperiment:
+    def test_ablation_zero_end_to_end(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        results = run_experiment("ablation-zero", scale=0.04, log_path=path)
+        assert len(results) == 6
+        records = read_log(path, "ablation-zero")
+        assert len(records) == 6
+        # Regenerated runs beat zeroed runs at the extreme ratio.
+        by_name = {r.config.name: r.val_error for r in results}
+        assert by_name["mnist-100-100/regen-60x"] <= by_name["mnist-100-100/zeroed-60x"]

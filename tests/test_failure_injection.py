@@ -1,0 +1,123 @@
+"""Failure-injection tests: corrupt inputs, wrong architectures, bad state.
+
+A production library must fail loudly and precisely, not silently produce
+wrong models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack
+from repro.data import DataLoader, Dataset
+from repro.io import load_sparse, save_sparse, load_sparse_quantized
+from repro.models import lenet_300_100, mnist_100_100, mlp
+from repro.optim import ConstantLR, SGD
+from repro.tensor import Tensor, cross_entropy
+from repro.train import Trainer, evaluate
+
+
+@pytest.fixture()
+def trained_sparse_ckpt(tmp_path, tiny_mnist):
+    train, test = tiny_mnist
+    m = mnist_100_100().finalize(3)
+    opt = DropBack(m, k=4_000, lr=0.4)
+    Trainer(m, opt, schedule=ConstantLR(0.4)).fit(
+        DataLoader(train, 64, seed=0), test, epochs=1
+    )
+    path = str(tmp_path / "ck.npz")
+    save_sparse(m, opt, path)
+    return m, opt, path
+
+
+class TestCheckpointCorruption:
+    def test_wrong_architecture_rejected(self, trained_sparse_ckpt):
+        _, _, path = trained_sparse_ckpt
+        # LeNet-300-100 has MORE params, so indices stay in range — but the
+        # checkpoint came from a different architecture.  The load succeeds
+        # mechanically (format is architecture-agnostic), so the guard is
+        # the caller's; a *smaller* model must hard-fail on indices:
+        with pytest.raises(ValueError, match="indices exceed"):
+            load_sparse(mlp(10, (5,), 3), path)
+
+    def test_truncated_file_rejected(self, trained_sparse_ckpt, tmp_path):
+        _, _, path = trained_sparse_ckpt
+        raw = open(path, "rb").read()
+        bad = str(tmp_path / "trunc.npz")
+        with open(bad, "wb") as fh:
+            fh.write(raw[: len(raw) // 2])
+        with pytest.raises(Exception):  # zipfile/numpy error surface
+            load_sparse(mnist_100_100(), bad)
+
+    def test_version_mismatch_rejected(self, trained_sparse_ckpt, tmp_path):
+        _, _, path = trained_sparse_ckpt
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["__format__"] = np.int64(99)
+        bad = str(tmp_path / "ver.npz")
+        np.savez(bad, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_sparse(mnist_100_100(), bad)
+
+    def test_quantized_loader_rejects_plain_sparse(self, trained_sparse_ckpt):
+        _, _, path = trained_sparse_ckpt
+        with pytest.raises(KeyError):
+            load_sparse_quantized(mnist_100_100(), path)
+
+    def test_wrong_seed_changes_untracked_weights(self, trained_sparse_ckpt, tmp_path):
+        """Tampering with the stored seed silently regenerates different
+        untracked weights — the accuracy collapse demonstrates why the
+        seed is part of the model identity."""
+        m, opt, path = trained_sparse_ckpt
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["seed"] = np.int64(int(payload["seed"]) + 1)
+        tampered = str(tmp_path / "tampered.npz")
+        np.savez(tampered, **payload)
+        m2 = load_sparse(mnist_100_100(), tampered)
+        # Untracked weights differ from the original model's.
+        mask = opt.tracked_mask
+        flat_orig = np.concatenate([p.data.reshape(-1) for p in m.parameters()])
+        flat_tamp = np.concatenate([p.data.reshape(-1) for p in m2.parameters()])
+        assert not np.array_equal(flat_orig[~mask], flat_tamp[~mask])
+        np.testing.assert_array_equal(flat_orig[mask], flat_tamp[mask])
+
+
+class TestOptimizerMisuse:
+    def test_dropback_on_unfinalized_model(self):
+        with pytest.raises(RuntimeError):
+            DropBack(mnist_100_100(), k=100, lr=0.4)
+
+    def test_step_without_backward_is_safe(self):
+        m = mlp(4, (4,), 2).finalize(1)
+        opt = DropBack(m, k=5, lr=0.1)
+        opt.step()  # no grads: candidates = current weights; must not crash
+        assert opt.tracked_mask.sum() == 5
+
+    def test_refinalize_resets_weights(self):
+        m = mlp(4, (4,), 2).finalize(1)
+        w1 = m[1].weight.data.copy()  # m[0] is Flatten
+        m[1].weight.data = m[1].weight.data + 1.0
+        m.finalize(1)
+        np.testing.assert_array_equal(m[1].weight.data, w1)
+
+
+class TestDataEdgeCases:
+    def test_single_sample_batch(self):
+        ds = Dataset(np.ones((1, 4), np.float32), np.array([0]))
+        batches = list(DataLoader(ds, 8, shuffle=False))
+        assert len(batches) == 1
+        assert batches[0][0].shape == (1, 4)
+
+    def test_evaluate_empty_loader_raises(self):
+        m = mlp(4, (4,), 2).finalize(1)
+        ds = Dataset(np.ones((3, 4), np.float32), np.array([0, 1, 0]))
+        loader = DataLoader(ds, 8, drop_last=True)  # 3 < 8 -> zero batches
+        with pytest.raises(ValueError):
+            evaluate(m, loader)
+
+    def test_training_with_constant_inputs_does_not_crash(self):
+        ds = Dataset(np.zeros((32, 4), np.float32), np.arange(32) % 2)
+        m = mlp(4, (4,), 2).finalize(1)
+        tr = Trainer(m, SGD(m, lr=0.1), schedule=ConstantLR(0.1))
+        h = tr.fit(DataLoader(ds, 16, seed=0), ds, epochs=2)
+        assert not h.diverged

@@ -1,0 +1,236 @@
+"""Tests for functional ops: batchnorm, softmax, losses, dropout, prelu."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    batch_norm,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    prelu,
+    softmax,
+)
+from tests.conftest import finite_difference_check, rand_tensor
+
+
+class TestLinear:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0, 2.0]]))
+        w = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]))
+        b = Tensor(np.array([0.0, 0.0, 1.0]))
+        out = linear(x, w, b).numpy()
+        np.testing.assert_allclose(out, [[1.0, 2.0, 4.0]])
+
+    def test_gradients(self, rng):
+        x = rand_tensor(rng, (4, 3))
+        w = rand_tensor(rng, (5, 3))
+        b = rand_tensor(rng, (5,))
+        finite_difference_check(lambda: (linear(x, w, b) ** 2).sum(), [x, w, b])
+
+
+class TestPReLU:
+    def test_positive_passes_through(self):
+        x = Tensor(np.array([[1.0, 2.0]]))
+        a = Tensor(np.array([0.25]))
+        np.testing.assert_allclose(prelu(x, a).numpy(), [[1.0, 2.0]])
+
+    def test_negative_scaled(self):
+        x = Tensor(np.array([[-4.0]]))
+        a = Tensor(np.array([0.25]))
+        np.testing.assert_allclose(prelu(x, a).numpy(), [[-1.0]])
+
+    def test_per_channel_slope_nchw(self):
+        x = Tensor(-np.ones((1, 2, 2, 2), dtype=np.float64))
+        a = Tensor(np.array([0.1, 0.5]))
+        out = prelu(x, a).numpy()
+        np.testing.assert_allclose(out[0, 0], -0.1)
+        np.testing.assert_allclose(out[0, 1], -0.5)
+
+    def test_gradients(self, rng):
+        x = rand_tensor(rng, (3, 4))
+        a = Tensor(np.array([0.25, 0.1, 0.4, 0.3]), requires_grad=True)
+        finite_difference_check(lambda: (prelu(x, a) ** 2).sum(), [x, a])
+
+    def test_scalar_slope_gradients(self, rng):
+        x = rand_tensor(rng, (5,))
+        a = Tensor(np.array([0.25]), requires_grad=True)
+        finite_difference_check(lambda: (prelu(x, a) ** 2).sum(), [x, a])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones(100))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_p_zero_is_identity(self):
+        x = Tensor(np.ones(10))
+        assert dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_zeroes_and_scales(self):
+        x = Tensor(np.ones(10000))
+        out = dropout(x, 0.5, np.random.default_rng(0)).numpy()
+        zero_frac = np.mean(out == 0.0)
+        assert 0.45 < zero_frac < 0.55
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_expectation_preserved(self):
+        x = Tensor(np.ones(100000))
+        out = dropout(x, 0.3, np.random.default_rng(1)).numpy()
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_p(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            dropout(x, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dropout(x, -0.1, np.random.default_rng(0))
+
+    def test_gradient_masked_like_forward(self):
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = dropout(x, 0.5, np.random.default_rng(2))
+        out.sum().backward()
+        mask = out.numpy() != 0
+        np.testing.assert_allclose(x.grad[mask], 2.0)
+        np.testing.assert_allclose(x.grad[~mask], 0.0)
+
+
+class TestBatchNorm:
+    def _buffers(self, c):
+        return np.zeros(c, np.float64), np.ones(c, np.float64)
+
+    def test_normalizes_batch(self, rng):
+        x = Tensor(rng.normal(3.0, 2.0, size=(64, 4)))
+        g = Tensor(np.ones(4))
+        b = Tensor(np.zeros(4))
+        rm, rv = self._buffers(4)
+        out = batch_norm(x, g, b, rm, rv, training=True).numpy()
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        x = Tensor(rng.normal(size=(32, 2)))
+        g = Tensor(np.array([2.0, 3.0]))
+        b = Tensor(np.array([1.0, -1.0]))
+        rm, rv = self._buffers(2)
+        out = batch_norm(x, g, b, rm, rv, training=True).numpy()
+        assert np.allclose(out.mean(axis=0), [1.0, -1.0], atol=1e-6)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(5.0, 1.0, size=(128, 3)))
+        g, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        rm, rv = self._buffers(3)
+        batch_norm(x, g, b, rm, rv, training=True, momentum=1.0)
+        assert np.allclose(rm, 5.0, atol=0.5)
+        assert np.allclose(rv, 1.0, atol=0.3)
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((4, 2), 10.0))
+        g, b = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        rm = np.full(2, 10.0)
+        rv = np.full(2, 4.0)
+        out = batch_norm(x, g, b, rm, rv, training=False).numpy()
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_eval_mode_does_not_touch_buffers(self):
+        x = Tensor(np.ones((4, 2)))
+        g, b = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        rm, rv = np.zeros(2), np.ones(2)
+        batch_norm(x, g, b, rm.copy(), rv.copy(), training=False)
+        rm2, rv2 = np.zeros(2), np.ones(2)
+        np.testing.assert_array_equal(rm, rm2)
+        np.testing.assert_array_equal(rv, rv2)
+
+    def test_train_gradients(self, rng):
+        x = rand_tensor(rng, (8, 3))
+        g = Tensor(rng.normal(1.0, 0.1, size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        rm, rv = self._buffers(3)
+        finite_difference_check(
+            lambda: (batch_norm(x, g, b, rm.copy(), rv.copy(), training=True) ** 2).sum(),
+            [x, g, b],
+        )
+
+    def test_eval_gradients(self, rng):
+        x = rand_tensor(rng, (8, 3))
+        g = Tensor(rng.normal(1.0, 0.1, size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        rm = rng.normal(size=3)
+        rv = rng.uniform(0.5, 1.5, size=3)
+        finite_difference_check(
+            lambda: (batch_norm(x, g, b, rm, rv, training=False) ** 2).sum(), [x, g, b]
+        )
+
+    def test_nchw_gradients(self, rng):
+        x = rand_tensor(rng, (4, 2, 3, 3))
+        g = Tensor(rng.normal(1.0, 0.1, size=2), requires_grad=True)
+        b = Tensor(rng.normal(size=2), requires_grad=True)
+        rm, rv = self._buffers(2)
+        finite_difference_check(
+            lambda: (batch_norm(x, g, b, rm.copy(), rv.copy(), training=True) ** 2).sum(),
+            [x, g, b],
+        )
+
+
+class TestSoftmaxAndLosses:
+    def test_log_softmax_normalized(self, rng):
+        x = Tensor(rng.normal(size=(5, 7)))
+        ls = log_softmax(x).numpy()
+        np.testing.assert_allclose(np.exp(ls).sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = log_softmax(x).numpy()
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(np.exp(out).sum(), 1.0, rtol=1e-6)
+
+    def test_log_softmax_gradient(self, rng):
+        x = rand_tensor(rng, (4, 5))
+        finite_difference_check(lambda: (log_softmax(x) ** 2).sum(), [x])
+
+    def test_softmax_probabilities(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        p = softmax(x).numpy()
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_cross_entropy_value(self):
+        # Uniform logits -> loss = log(C).
+        x = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(x, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-6)
+
+    def test_cross_entropy_perfect_prediction(self):
+        x = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        loss = cross_entropy(x, np.array([0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient(self, rng):
+        x = rand_tensor(rng, (6, 4))
+        y = rng.integers(0, 4, size=6)
+        finite_difference_check(lambda: cross_entropy(x, y), [x])
+
+    def test_nll_loss_gradient(self, rng):
+        x = rand_tensor(rng, (5, 3))
+        y = rng.integers(0, 3, size=5)
+        finite_difference_check(lambda: nll_loss(log_softmax(x), y), [x])
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mse_gradient(self, rng):
+        pred = rand_tensor(rng, (4,))
+        target = rng.normal(size=4)
+        finite_difference_check(lambda: mse_loss(pred, target), [pred])
+
+    def test_mse_accepts_tensor_target(self, rng):
+        pred = rand_tensor(rng, (4,))
+        target = Tensor(rng.normal(size=4))
+        assert np.isfinite(mse_loss(pred, target).item())

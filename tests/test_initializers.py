@@ -1,0 +1,114 @@
+"""Tests for regenerating initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.init import ConstantInit, HeNormalInit, ScaledNormalInit, he_std, lecun_std
+
+
+class TestStdHelpers:
+    def test_lecun_std(self):
+        assert lecun_std(4) == 0.5
+        assert lecun_std(100) == pytest.approx(0.1)
+
+    def test_he_std(self):
+        assert he_std(2) == pytest.approx(1.0)
+        assert he_std(50) == pytest.approx(math.sqrt(2 / 50))
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive_fanin(self, bad):
+        with pytest.raises(ValueError):
+            lecun_std(bad)
+        with pytest.raises(ValueError):
+            he_std(bad)
+
+
+class TestScaledNormalInit:
+    def test_regenerate_deterministic(self):
+        init = ScaledNormalInit(0.1)
+        a = init.regenerate(7, 100, (20, 30))
+        b = init.regenerate(7, 100, (20, 30))
+        np.testing.assert_array_equal(a, b)
+
+    def test_std_respected(self):
+        init = ScaledNormalInit(0.05)
+        vals = init.regenerate(3, 0, (100_000,)).astype(np.float64)
+        assert abs(vals.std() - 0.05) < 0.002
+        assert abs(vals.mean()) < 0.002
+
+    def test_base_index_shifts_stream(self):
+        init = ScaledNormalInit(1.0)
+        a = init.regenerate(7, 0, (100,))
+        b = init.regenerate(7, 100, (100,))
+        assert not np.array_equal(a, b)
+
+    def test_overlapping_index_ranges_share_values(self):
+        # Element i of a block at base b equals element (i+1) at base b-1:
+        # regeneration is addressed by *global* index, not by position.
+        init = ScaledNormalInit(1.0)
+        a = init.regenerate(7, 10, (50,))
+        b = init.regenerate(7, 11, (50,))
+        np.testing.assert_array_equal(a[1:], b[:-1])
+
+    def test_regenerate_flat_matches_block(self):
+        init = ScaledNormalInit(0.2)
+        block = init.regenerate(5, 1000, (10, 10)).reshape(-1)
+        picks = np.array([1000, 1042, 1099])
+        flat = init.regenerate_flat(5, picks)
+        np.testing.assert_array_equal(flat, block[picks - 1000])
+
+    def test_shape_and_dtype(self):
+        init = ScaledNormalInit(1.0)
+        out = init.regenerate(1, 0, (3, 4, 5))
+        assert out.shape == (3, 4, 5)
+        assert out.dtype == np.float32
+
+    def test_scalar_shape(self):
+        init = ScaledNormalInit(1.0)
+        assert init.regenerate(1, 0, ()).shape == ()
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.1])
+    def test_rejects_bad_std(self, bad):
+        with pytest.raises(ValueError):
+            ScaledNormalInit(bad)
+
+    def test_repr(self):
+        assert "0.1" in repr(ScaledNormalInit(0.1))
+
+
+class TestHeNormalInit:
+    def test_std_is_sqrt_2_over_fanin(self):
+        init = HeNormalInit(fan_in=8)
+        assert init.std == pytest.approx(0.5)
+
+    def test_samples_match_std(self):
+        init = HeNormalInit(fan_in=200)
+        vals = init.regenerate(9, 0, (50_000,)).astype(np.float64)
+        assert abs(vals.std() - math.sqrt(2 / 200)) < 0.005
+
+
+class TestConstantInit:
+    def test_regenerates_constant(self):
+        init = ConstantInit(0.25)
+        out = init.regenerate(99, 12345, (7, 3))
+        np.testing.assert_array_equal(out, np.full((7, 3), 0.25, np.float32))
+
+    def test_seed_and_index_irrelevant(self):
+        init = ConstantInit(1.0)
+        np.testing.assert_array_equal(
+            init.regenerate(1, 0, (5,)), init.regenerate(999, 777, (5,))
+        )
+
+    def test_regenerate_flat(self):
+        init = ConstantInit(-2.5)
+        out = init.regenerate_flat(0, np.array([5, 9, 100]))
+        np.testing.assert_array_equal(out, np.full(3, -2.5, np.float32))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ConstantInit(float("nan"))
+
+    def test_repr(self):
+        assert "0.25" in repr(ConstantInit(0.25))

@@ -1,0 +1,179 @@
+"""Tests for nn layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    MSELoss,
+    PReLU,
+    ReLU,
+    Sequential,
+)
+from repro.tensor import Tensor
+
+
+def _finalize(m, seed=1):
+    m.finalize(seed)
+    return m
+
+
+class TestLinearLayer:
+    def test_shapes(self):
+        layer = _finalize(Sequential(Linear(10, 5)))
+        out = layer(Tensor(np.ones((3, 10), np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert sum(p.size for p in layer.parameters()) == 8
+
+    def test_lecun_init_std(self):
+        layer = _finalize(Sequential(Linear(400, 100)))
+        w = layer[0].weight.data
+        assert abs(w.std() - 0.05) < 0.005
+
+    def test_he_init_std(self):
+        layer = _finalize(Sequential(Linear(200, 50, init="he")))
+        w = layer[0].weight.data
+        assert abs(w.std() - np.sqrt(2 / 200)) < 0.005
+
+    def test_repr(self):
+        assert "Linear(4, 2" in repr(Linear(4, 2))
+
+
+class TestConvLayer:
+    def test_output_shape(self):
+        layer = _finalize(Sequential(Conv2d(3, 8, 3, stride=1, padding=1)))
+        out = layer(Tensor(np.ones((2, 3, 8, 8), np.float32)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_param_count(self):
+        layer = Conv2d(3, 8, 3)
+        assert sum(p.size for p in layer.parameters()) == 3 * 8 * 9 + 8
+
+    def test_no_bias_param_count(self):
+        layer = Conv2d(3, 8, 3, bias=False)
+        assert sum(p.size for p in layer.parameters()) == 216
+
+    def test_fan_in_init(self):
+        layer = _finalize(Sequential(Conv2d(16, 32, 3)))
+        w = layer[0].weight.data
+        assert abs(w.std() - 1.0 / np.sqrt(16 * 9)) < 0.005
+
+
+class TestBatchNormLayers:
+    def test_bn1d_forward_normalizes(self):
+        bn = _finalize(Sequential(BatchNorm1d(4)))
+        x = Tensor(np.random.default_rng(0).normal(3, 2, size=(64, 4)).astype(np.float32))
+        out = bn(x).numpy()
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-4)
+
+    def test_bn2d_shape_check(self):
+        bn = _finalize(Sequential(BatchNorm2d(4)))
+        with pytest.raises(ValueError):
+            bn(Tensor(np.ones((2, 4), np.float32)))
+
+    def test_bn1d_shape_check(self):
+        bn = _finalize(Sequential(BatchNorm1d(4)))
+        with pytest.raises(ValueError):
+            bn(Tensor(np.ones((2, 4, 3, 3), np.float32)))
+
+    def test_gamma_init_one_beta_zero(self):
+        bn = BatchNorm2d(3)
+        bn.gamma.initialize(0, 0)
+        bn.beta.initialize(0, 3)
+        np.testing.assert_array_equal(bn.gamma.data, 1.0)
+        np.testing.assert_array_equal(bn.beta.data, 0.0)
+
+    def test_eval_uses_running_stats(self):
+        seq = _finalize(Sequential(BatchNorm1d(2)))
+        bn = seq[0]
+        x = Tensor(np.random.default_rng(0).normal(5, 2, size=(256, 2)).astype(np.float32))
+        for _ in range(30):
+            seq(x)  # accumulate running stats in train mode
+        seq.eval()
+        out = seq(x).numpy()
+        assert np.allclose(out.mean(axis=0), 0, atol=0.2)
+
+    def test_buffers_registered(self):
+        assert BatchNorm2d._buffers == ("running_mean", "running_var")
+
+
+class TestActivationsAndUtility:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.numpy(), [0.0, 2.0])
+
+    def test_prelu_constant_init(self):
+        seq = _finalize(Sequential(PReLU(3)))
+        np.testing.assert_allclose(seq[0].slope.data, 0.25)
+
+    def test_prelu_forward(self):
+        seq = _finalize(Sequential(PReLU(1)))
+        out = seq(Tensor(np.array([[-4.0, 4.0]], np.float32)))
+        np.testing.assert_allclose(out.numpy(), [[-1.0, 4.0]])
+
+    def test_dropout_train_vs_eval(self):
+        seq = _finalize(Sequential(Dropout(0.5)))
+        x = Tensor(np.ones((10, 100), np.float32))
+        train_out = seq(x).numpy()
+        assert (train_out == 0).any()
+        seq.eval()
+        np.testing.assert_array_equal(seq(x).numpy(), 1.0)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.ones((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_pools(self):
+        x = Tensor(np.ones((1, 1, 4, 4), np.float32))
+        assert MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 1)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        m = _finalize(Sequential(Flatten(), Linear(4, 3), ReLU(), Linear(3, 2)))
+        out = m(Tensor(np.ones((5, 2, 2), np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_len_getitem_iter(self):
+        m = Sequential(ReLU(), Flatten())
+        assert len(m) == 2
+        assert isinstance(m[0], ReLU)
+        assert [type(x).__name__ for x in m] == ["ReLU", "Flatten"]
+
+    def test_append(self):
+        m = Sequential(ReLU())
+        m.append(Flatten())
+        assert len(m) == 2
+
+    def test_repr_lists_layers(self):
+        assert "ReLU()" in repr(Sequential(ReLU()))
+
+
+class TestLossModules:
+    def test_cross_entropy_module(self):
+        loss = CrossEntropyLoss()(Tensor(np.zeros((2, 3))), np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_mse_module(self):
+        loss = MSELoss()(Tensor(np.array([2.0])), np.array([0.0]))
+        assert loss.item() == pytest.approx(4.0)

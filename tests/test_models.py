@@ -1,0 +1,174 @@
+"""Tests for the model zoo: paper-exact parameter counts, forward shapes,
+and trainability of scaled variants."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    densenet,
+    densenet_2_7m,
+    densenet_bc_100_12,
+    densenet_tiny,
+    lenet_300_100,
+    mlp,
+    mnist_100_100,
+    vgg_s,
+    wide_resnet,
+    wrn_10_1,
+    wrn_10_2,
+    wrn_28_10,
+)
+from repro.tensor import Tensor
+
+
+def _x(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape).astype(np.float32))
+
+
+class TestMLPs:
+    def test_lenet_300_100_param_count_matches_paper(self):
+        # Paper: "approximately 266,600 weights" / "Baseline 267k".
+        assert lenet_300_100().num_parameters() == 266_610
+
+    def test_mnist_100_100_param_count_matches_paper(self):
+        # Paper Table 2: fc1 78,500 + fc2 10,100 + fc3 1,010 = 89,610.
+        assert mnist_100_100().num_parameters() == 89_610
+
+    def test_mnist_100_100_layer_sizes_match_table2(self):
+        m = mnist_100_100()
+        sizes = {}
+        for name, p in m.named_parameters():
+            layer = name.rsplit(".", 1)[0]
+            sizes[layer] = sizes.get(layer, 0) + p.size
+        assert sizes == {"layers.1": 78_500, "layers.3": 10_100, "layers.5": 1_010}
+
+    def test_forward_shape(self):
+        m = mnist_100_100().finalize(1)
+        assert m(_x((4, 1, 28, 28))).shape == (4, 10)
+
+    def test_accepts_flat_input(self):
+        m = mnist_100_100().finalize(1)
+        assert m(_x((4, 784))).shape == (4, 10)
+
+    def test_custom_mlp(self):
+        m = mlp(20, (8, 8), 3).finalize(1)
+        assert m(_x((2, 20))).shape == (2, 3)
+
+
+class TestVGGS:
+    def test_param_count_near_15m(self):
+        # Paper: "a total of 15M parameters vs. the 138M of VGG-16".
+        n = vgg_s().num_parameters()
+        assert 14.5e6 < n < 15.5e6
+
+    def test_scaled_forward(self):
+        m = vgg_s(width_mult=0.125).finalize(1)
+        assert m(_x((2, 3, 32, 32))).shape == (2, 10)
+
+    def test_width_mult_scales_params(self):
+        full = vgg_s().num_parameters()
+        half = vgg_s(width_mult=0.5).num_parameters()
+        assert 0.2 < half / full < 0.3  # ~quadratic in width
+
+    def test_has_dropout_and_bn(self):
+        from repro.nn import BatchNorm1d, BatchNorm2d, Dropout
+
+        mods = list(vgg_s(width_mult=0.125).modules())
+        assert any(isinstance(m, Dropout) for m in mods)
+        assert any(isinstance(m, BatchNorm2d) for m in mods)
+        assert any(isinstance(m, BatchNorm1d) for m in mods)
+
+    def test_conv_depth_is_13(self):
+        from repro.nn import Conv2d
+
+        convs = [m for m in vgg_s(width_mult=0.125).modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 13
+
+
+class TestWRN:
+    def test_wrn_28_10_param_count_matches_paper(self):
+        # Paper Table 3: "WRN-28-10 Baseline 36M" (canonical 36.5M).
+        n = wrn_28_10().num_parameters()
+        assert 36.0e6 < n < 37.0e6
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            wide_resnet(27, 2)
+
+    def test_forward_small(self):
+        m = wrn_10_2().finalize(1)
+        assert m(_x((2, 3, 16, 16))).shape == (2, 10)
+
+    def test_downsampling_structure(self):
+        m = wrn_10_1().finalize(1)
+        # 16x16 input -> strides 1,2,2 -> final feature map 4x4 before GAP.
+        out = m(_x((1, 3, 16, 16)))
+        assert out.shape == (1, 10)
+
+    def test_widen_scales_params(self):
+        w1 = wide_resnet(10, 1).num_parameters()
+        w2 = wide_resnet(10, 2).num_parameters()
+        assert 3.0 < w2 / w1 < 4.5  # roughly quadratic in widen factor
+
+    def test_trains_one_step(self):
+        from repro.optim import SGD
+        from repro.tensor import cross_entropy
+
+        m = wrn_10_1().finalize(2)
+        opt = SGD(m, lr=0.01)
+        x = _x((4, 3, 16, 16))
+        y = np.array([0, 1, 2, 3])
+        loss0 = cross_entropy(m(x), y)
+        loss0.backward()
+        opt.step()
+        m.zero_grad()
+        loss1 = cross_entropy(m(x), y)
+        assert loss1.item() < loss0.item() + 1.0  # moved, did not explode
+
+
+class TestDenseNet:
+    def test_param_count_matches_paper(self):
+        # Paper Table 3: "Densenet Baseline 2.7M".
+        n = densenet_2_7m().num_parameters()
+        assert 2.5e6 < n < 2.9e6
+
+    def test_bc_variant_smaller(self):
+        assert densenet_bc_100_12().num_parameters() < 1.2e6
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            densenet(41, 12)
+
+    def test_bc_depth_validation(self):
+        with pytest.raises(ValueError):
+            densenet(43, 12, bottleneck=True)  # (43-4)/3 = 13 odd
+
+    def test_forward_tiny(self):
+        m = densenet_tiny().finalize(1)
+        assert m(_x((2, 3, 16, 16))).shape == (2, 10)
+
+    def test_feature_concat_growth(self):
+        # Channels after a dense block = in + per_block * growth.
+        m = densenet(16, 8)  # per_block = 4
+        # stem=16ch, block1 ends at 16+4*8=48 before transition
+        from repro.models.densenet import _DenseLayer
+
+        layers = [b for b in m.blocks if isinstance(b, _DenseLayer)]
+        assert len(layers) == 12
+
+    def test_reduction_compresses_transitions(self):
+        full = densenet(16, 8, reduction=1.0).num_parameters()
+        red = densenet(16, 8, reduction=0.5).num_parameters()
+        assert red < full
+
+    def test_trains_one_step(self):
+        from repro.optim import SGD
+        from repro.tensor import cross_entropy
+
+        m = densenet_tiny().finalize(2)
+        opt = SGD(m, lr=0.01)
+        x = _x((2, 3, 16, 16))
+        y = np.array([0, 1])
+        loss = cross_entropy(m(x), y)
+        loss.backward()
+        opt.step()  # must not raise

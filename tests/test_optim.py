@@ -1,0 +1,159 @@
+"""Tests for SGD and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.models import mnist_100_100
+from repro.nn import Linear, Sequential
+from repro.optim import (
+    SGD,
+    BoundedStepDecay,
+    ConstantLR,
+    ExponentialDecay,
+    StepDecay,
+)
+from repro.optim.base import AccessCounter
+from repro.tensor import Tensor, cross_entropy
+
+
+def _model():
+    return Sequential(Linear(4, 3)).finalize(1)
+
+
+def _step(model, opt, seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(8, 4)).astype(np.float32))
+    y = rng.integers(0, 3, size=8)
+    model.zero_grad()
+    loss = cross_entropy(model(x), y)
+    loss.backward()
+    opt.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_moves_against_gradient(self):
+        m = _model()
+        opt = SGD(m, lr=0.5)
+        w_before = m[0].weight.data.copy()
+        _step(m, opt)
+        assert not np.array_equal(w_before, m[0].weight.data)
+
+    def test_update_rule_exact(self):
+        m = _model()
+        opt = SGD(m, lr=0.1)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(4, 4)).astype(np.float32))
+        y = rng.integers(0, 3, size=4)
+        loss = cross_entropy(m(x), y)
+        loss.backward()
+        w = m[0].weight.data.copy()
+        g = m[0].weight.grad.copy()
+        opt.step()
+        np.testing.assert_allclose(m[0].weight.data, w - 0.1 * g, rtol=1e-6)
+
+    def test_loss_decreases_over_steps(self):
+        m = _model()
+        opt = SGD(m, lr=0.5)
+        first = _step(m, opt, seed=3)
+        for _ in range(30):
+            last = _step(m, opt, seed=3)
+        assert last < first
+
+    def test_momentum_accelerates(self):
+        m1, m2 = _model(), _model()
+        plain = SGD(m1, lr=0.05)
+        mom = SGD(m2, lr=0.05, momentum=0.9)
+        for _ in range(20):
+            lp = _step(m1, plain, seed=3)
+            lm = _step(m2, mom, seed=3)
+        assert lm < lp  # momentum converges faster on this convex-ish problem
+
+    def test_weight_decay_shrinks_weights(self):
+        m1, m2 = _model(), _model()
+        SGD(m1, lr=0.1)
+        wd = SGD(m2, lr=0.1, weight_decay=0.5)
+        for _ in range(10):
+            _step(m2, wd, seed=3)
+        assert np.abs(m2[0].weight.data).mean() < np.abs(m1[0].weight.data).mean()
+
+    def test_skips_missing_grads(self):
+        m = _model()
+        opt = SGD(m, lr=0.1)
+        opt.step()  # no grads at all: must be a no-op, not a crash
+
+    def test_invalid_hyperparams(self):
+        m = _model()
+        with pytest.raises(ValueError):
+            SGD(m, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(m, lr=0.1, momentum=1.0)
+
+    def test_access_counter_dense_traffic(self):
+        m = _model()
+        opt = SGD(m, lr=0.1)
+        n = m.num_parameters()
+        _step(m, opt)
+        assert opt.counter.weight_reads == n
+        assert opt.counter.weight_writes == n
+        assert opt.counter.regenerations == 0
+        assert opt.counter.steps == 1
+
+    def test_storage_is_dense(self):
+        m = mnist_100_100().finalize(1)
+        assert SGD(m, lr=0.1).storage_floats() == 89_610
+
+
+class TestAccessCounter:
+    def test_total(self):
+        c = AccessCounter(weight_reads=10, weight_writes=5, regenerations=100)
+        assert c.total_accesses == 15
+
+    def test_merge(self):
+        a = AccessCounter(1, 2, 3, 1)
+        b = AccessCounter(10, 20, 30, 2)
+        m = a.merge(b)
+        assert (m.weight_reads, m.weight_writes, m.regenerations, m.steps) == (11, 22, 33, 3)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.4)
+        assert s(0) == s(99) == 0.4
+
+    def test_step_decay_cifar_recipe(self):
+        # Paper: "starting learning rate of 0.4 decayed 0.5x every 25 epochs".
+        s = StepDecay(0.4, factor=0.5, period=25)
+        assert s(0) == 0.4
+        assert s(24) == 0.4
+        assert s(25) == 0.2
+        assert s(50) == 0.1
+        assert s(75) == pytest.approx(0.05)
+
+    def test_bounded_step_decay_mnist_recipe(self):
+        # Paper: lr 0.4 "exponentially reduced four times by a factor of 0.5".
+        s = BoundedStepDecay(0.4, factor=0.5, period=20, max_drops=4)
+        assert s(0) == 0.4
+        assert s(20) == 0.2
+        assert s(80) == pytest.approx(0.025)
+        assert s(100) == pytest.approx(0.025)  # capped at 4 drops
+        assert s(1000) == pytest.approx(0.025)
+
+    def test_exponential(self):
+        s = ExponentialDecay(1.0, gamma=0.9)
+        assert s(0) == 1.0
+        assert s(2) == pytest.approx(0.81)
+
+    @pytest.mark.parametrize(
+        "ctor",
+        [
+            lambda: ConstantLR(0.0),
+            lambda: StepDecay(0.1, factor=0.0),
+            lambda: StepDecay(0.1, period=0),
+            lambda: BoundedStepDecay(0.1, max_drops=-1),
+            lambda: ExponentialDecay(0.1, gamma=1.5),
+        ],
+    )
+    def test_invalid_params(self, ctor):
+        with pytest.raises(ValueError):
+            ctor()

@@ -1,0 +1,111 @@
+"""Tests for tracked-set overlap analysis and the device-fit report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_random_overlap,
+    jaccard,
+    nested_budget_overlap,
+    overlap_coefficient,
+)
+from repro.core import DropBack
+from repro.data import DataLoader
+from repro.hw import AcceleratorModel
+from repro.models import lenet5, mnist_100_100
+from repro.optim import ConstantLR
+from repro.train import Trainer
+
+
+class TestMaskMetrics:
+    def test_jaccard_identical(self):
+        m = np.array([True, False, True])
+        assert jaccard(m, m) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard(np.array([True, False]), np.array([False, True])) == 0.0
+
+    def test_jaccard_partial(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        assert jaccard(a, b) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_masks(self):
+        z = np.zeros(4, bool)
+        assert jaccard(z, z) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jaccard(np.zeros(3, bool), np.zeros(4, bool))
+
+    def test_overlap_coefficient_subset(self):
+        small = np.array([True, False, False, False])
+        large = np.array([True, True, True, False])
+        assert overlap_coefficient(small, large) == 1.0
+
+    def test_expected_random_overlap_formula(self):
+        # k_a = k_b = k: E = k/n.
+        assert expected_random_overlap(100, 10, 10) == pytest.approx(0.1)
+
+    def test_expected_random_overlap_validation(self):
+        with pytest.raises(ValueError):
+            expected_random_overlap(0, 1, 1)
+        with pytest.raises(ValueError):
+            expected_random_overlap(10, 11, 1)
+
+    def test_nested_budget_overlap_full_containment(self):
+        small = np.array([True, False, False])
+        large = np.array([True, True, False])
+        assert nested_budget_overlap(small, large) == 1.0
+
+
+class TestTrackedSetOverlapIntegration:
+    def _mask(self, seed, k, tiny_mnist, epochs=2):
+        train, test = tiny_mnist
+        m = mnist_100_100().finalize(seed)
+        opt = DropBack(m, k=k, lr=0.4)
+        Trainer(m, opt, schedule=ConstantLR(0.4)).fit(
+            DataLoader(train, 64, seed=0), test, epochs=epochs
+        )
+        return opt.tracked_mask
+
+    def test_cross_seed_overlap_near_random(self, tiny_mnist):
+        """Different inits pick mostly different weights: the budget, not
+        the identity, carries the capacity (scaffolding story)."""
+        a = self._mask(1, 5_000, tiny_mnist)
+        b = self._mask(2, 5_000, tiny_mnist)
+        chance = expected_random_overlap(a.size, 5_000, 5_000)
+        measured = overlap_coefficient(a, b)
+        assert measured < 6 * chance  # far below identity, same order as chance
+
+    def test_nested_budgets_strongly_overlap(self, tiny_mnist):
+        """Same run, two budgets: the 2k set is largely inside the 10k set."""
+        small = self._mask(3, 2_000, tiny_mnist)
+        large = self._mask(3, 10_000, tiny_mnist)
+        containment = nested_budget_overlap(small, large)
+        chance = expected_random_overlap(small.size, 2_000, 10_000)
+        assert containment > 0.5
+        assert containment > 3 * chance
+
+
+class TestDeviceFitReport:
+    def test_activation_bytes_positive(self):
+        am = AcceleratorModel()
+        m = lenet5()
+        act = am.activation_bytes(m, (1, 28, 28))
+        assert act > 0
+        assert am.activation_bytes(m, (1, 28, 28), batch_size=4) == 4 * act
+
+    def test_dropback_fits_where_dense_does_not(self):
+        am = AcceleratorModel()
+        m = mnist_100_100()  # 89,610 * 4B = 350 KB dense weights
+        # A 60x budget shrinks the weight side to ~12 KB.
+        rep = am.device_fit_report(m, (1, 28, 28), k=1_500)
+        assert rep["dropback_bytes"] < rep["dense_bytes"]
+        assert rep["dropback_fits"]
+
+    def test_report_keys(self):
+        am = AcceleratorModel()
+        rep = am.device_fit_report(mnist_100_100(), (1, 28, 28), k=1_000)
+        for key in ("on_chip_budget_bytes", "activation_bytes", "dense_fits", "dropback_fits"):
+            assert key in rep

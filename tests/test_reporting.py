@@ -1,0 +1,46 @@
+"""Tests for report formatting utilities."""
+
+from repro.utils import ascii_series, format_percent, format_ratio, format_table
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.0142) == "1.42%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_ratio(self):
+        assert format_ratio(13.33) == "13.3x"
+        assert format_ratio(5.0, digits=0) == "5x"
+
+    def test_ratio_inf(self):
+        assert format_ratio(float("inf")) == "inf"
+
+
+class TestTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "bb" in lines[3]
+
+    def test_column_alignment(self):
+        out = format_table(["x"], [["looooong"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("looooong")
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert "empty" in ascii_series([])
+
+    def test_contains_extremes(self):
+        out = ascii_series([0.0, 1.0, 0.5], width=10, height=5)
+        assert "1" in out and "0" in out
+
+    def test_label_included(self):
+        assert ascii_series([1, 2], label="acc").startswith("acc")
+
+    def test_constant_series_no_crash(self):
+        out = ascii_series([3.0, 3.0, 3.0])
+        assert "*" in out

@@ -1,0 +1,71 @@
+"""Tests for top-k selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeapSelector, SortSelector, top_k_mask
+
+
+class TestTopKMask:
+    def test_selects_largest(self):
+        scores = np.array([0.1, 5.0, 0.3, 4.0, 0.2])
+        mask = top_k_mask(scores, 2)
+        np.testing.assert_array_equal(mask, [False, True, False, True, False])
+
+    def test_k_zero(self):
+        assert not top_k_mask(np.arange(5.0), 0).any()
+
+    def test_k_equals_n(self):
+        assert top_k_mask(np.arange(5.0), 5).all()
+
+    def test_k_exceeds_n(self):
+        assert top_k_mask(np.arange(5.0), 50).all()
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            top_k_mask(np.arange(3.0), -1)
+
+    def test_exactly_k_selected(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=1000)
+        for k in (1, 10, 500, 999):
+            assert top_k_mask(scores, k).sum() == k
+
+    def test_threshold_property(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=200)
+        mask = top_k_mask(scores, 50)
+        assert scores[mask].min() >= scores[~mask].max()
+
+
+class TestSelectors:
+    def test_sort_selector_delegates(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        mask = SortSelector().select(scores, 2)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_heap_selector_basic(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        mask = HeapSelector().select(scores, 2)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_heap_matches_sort_on_distinct_scores(self):
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            scores = rng.permutation(np.linspace(0, 1, 300))  # all distinct
+            k = int(rng.integers(1, 299))
+            np.testing.assert_array_equal(
+                HeapSelector().select(scores, k), SortSelector().select(scores, k)
+            )
+
+    def test_heap_edge_cases(self):
+        scores = np.arange(5.0)
+        assert not HeapSelector().select(scores, 0).any()
+        assert HeapSelector().select(scores, 5).all()
+        assert HeapSelector().select(scores, 10).all()
+
+    def test_both_select_exactly_k(self):
+        rng = np.random.default_rng(3)
+        scores = rng.normal(size=100)
+        assert SortSelector().select(scores, 17).sum() == 17
+        assert HeapSelector().select(scores, 17).sum() == 17

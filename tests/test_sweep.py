@@ -1,0 +1,61 @@
+"""Tests for compression-sweep analysis."""
+
+import pytest
+
+from repro.analysis import SweepPoint, compression_sweep, find_knee
+from repro.models import mnist_100_100
+
+
+class TestCompressionSweep:
+    def test_sweep_runs_all_ratios(self, tiny_mnist):
+        points = compression_sweep(
+            mnist_100_100, tiny_mnist, ratios=(2.0, 20.0), epochs=2
+        )
+        assert len(points) == 2
+        assert points[0].compression == pytest.approx(2.0, rel=0.01)
+        assert points[1].compression == pytest.approx(20.0, rel=0.01)
+
+    def test_errors_are_valid(self, tiny_mnist):
+        points = compression_sweep(mnist_100_100, tiny_mnist, ratios=(5.0,), epochs=2)
+        assert 0.0 <= points[0].val_error <= 1.0
+        assert points[0].k == round(89_610 / 5)
+
+    def test_extreme_ratio_worse_than_mild(self, tiny_mnist):
+        points = compression_sweep(
+            mnist_100_100, tiny_mnist, ratios=(2.0, 300.0), epochs=4
+        )
+        assert points[1].val_error > points[0].val_error
+
+    def test_empty_ratios_rejected(self, tiny_mnist):
+        with pytest.raises(ValueError):
+            compression_sweep(mnist_100_100, tiny_mnist, ratios=(), epochs=1)
+
+    def test_sub_unity_ratio_rejected(self, tiny_mnist):
+        with pytest.raises(ValueError):
+            compression_sweep(mnist_100_100, tiny_mnist, ratios=(0.5,), epochs=1)
+
+
+class TestFindKnee:
+    def _points(self, errors_by_comp):
+        return [
+            SweepPoint(compression=c, k=int(1000 / c), val_error=e, best_epoch=0)
+            for c, e in errors_by_comp
+        ]
+
+    def test_picks_largest_within_tolerance(self):
+        pts = self._points([(2, 0.02), (5, 0.021), (20, 0.025), (60, 0.08)])
+        knee = find_knee(pts, tolerance=0.01)
+        assert knee.compression == 20
+
+    def test_tight_tolerance_picks_best(self):
+        pts = self._points([(2, 0.02), (60, 0.08)])
+        knee = find_knee(pts, tolerance=0.0)
+        assert knee.compression == 2
+
+    def test_all_equal_picks_max_compression(self):
+        pts = self._points([(2, 0.05), (10, 0.05), (50, 0.05)])
+        assert find_knee(pts).compression == 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([])

@@ -1,0 +1,165 @@
+"""Tests for the xorshift PRNG and stateless regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.init.xorshift import (
+    REGEN_FLOAT_OPS,
+    REGEN_INT_OPS,
+    Xorshift32,
+    Xorshift128,
+    normal_at,
+    uniform_at,
+    xorshift_at,
+)
+
+
+class TestXorshift32:
+    def test_reference_sequence(self):
+        # xorshift32 with seed 1: x ^= x<<13; x ^= x>>17; x ^= x<<5.
+        g = Xorshift32(1)
+        first = g.next_u32()
+        # Manually computed reference: 1 -> 8193 -> 8193^(8193>>17)=8193 -> 8193^(8193<<5)
+        x = 1
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        assert first == x
+
+    def test_deterministic(self):
+        a = [Xorshift32(42).next_u32() for _ in range(1)]
+        b = [Xorshift32(42).next_u32() for _ in range(1)]
+        assert a == b
+
+    def test_sequence_advances(self):
+        g = Xorshift32(7)
+        vals = {g.next_u32() for _ in range(100)}
+        assert len(vals) == 100  # no short cycles
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Xorshift32(0)
+
+    def test_next_float_in_unit_interval(self):
+        g = Xorshift32(9)
+        for _ in range(100):
+            f = g.next_float()
+            assert 0.0 <= f < 1.0
+
+    def test_full_32bit_range_used(self):
+        g = Xorshift32(123)
+        vals = [g.next_u32() for _ in range(2000)]
+        assert max(vals) > 2**31  # top bit gets exercised
+        assert min(vals) < 2**28
+
+
+class TestXorshift128:
+    def test_deterministic(self):
+        g1, g2 = Xorshift128(5), Xorshift128(5)
+        assert [g1.next_u32() for _ in range(10)] == [g2.next_u32() for _ in range(10)]
+
+    def test_different_seeds_diverge(self):
+        g1, g2 = Xorshift128(5), Xorshift128(6)
+        a = [g1.next_u32() for _ in range(10)]
+        b = [g2.next_u32() for _ in range(10)]
+        assert a != b
+
+    def test_no_short_cycle(self):
+        g = Xorshift128(1)
+        vals = [g.next_u32() for _ in range(1000)]
+        assert len(set(vals)) == 1000
+
+    def test_next_float_unit_interval(self):
+        g = Xorshift128(3)
+        fs = [g.next_float() for _ in range(500)]
+        assert all(0.0 <= f < 1.0 for f in fs)
+        assert 0.3 < np.mean(fs) < 0.7
+
+
+class TestStatelessGeneration:
+    def test_pure_function_of_seed_and_index(self):
+        idx = np.arange(1000)
+        a = xorshift_at(99, idx)
+        b = xorshift_at(99, idx)
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_index_matches_batch(self):
+        idx = np.arange(100)
+        batch = xorshift_at(7, idx)
+        for i in (0, 13, 99):
+            assert xorshift_at(7, np.array([i]))[0] == batch[i]
+
+    def test_different_seeds_differ(self):
+        idx = np.arange(256)
+        assert not np.array_equal(xorshift_at(1, idx), xorshift_at(2, idx))
+
+    def test_indices_decorrelated(self):
+        # Consecutive indices should not produce correlated outputs.
+        out = xorshift_at(5, np.arange(10000)).astype(np.float64)
+        u = out / 2**32
+        corr = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_shape_preserved(self):
+        idx = np.arange(24).reshape(2, 3, 4)
+        assert xorshift_at(3, idx).shape == (2, 3, 4)
+
+    def test_nonzero_everywhere(self):
+        out = xorshift_at(0, np.arange(100000))
+        assert np.all(out != 0) or np.count_nonzero(out == 0) < 3  # zero is astronomically rare
+
+
+class TestUniformAt:
+    def test_range(self):
+        u = uniform_at(11, np.arange(10000))
+        assert u.min() >= 0.0 and u.max() < 1.0
+
+    def test_approximately_uniform(self):
+        u = uniform_at(11, np.arange(50000))
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        # Each decile should hold ~5000 +- 10%.
+        assert np.all(np.abs(hist - 5000) < 500)
+
+
+class TestNormalAt:
+    def test_deterministic(self):
+        idx = np.arange(512)
+        np.testing.assert_array_equal(normal_at(7, idx), normal_at(7, idx))
+
+    def test_moments(self):
+        z = normal_at(21, np.arange(200000), std=1.0).astype(np.float64)
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_scaled_std(self):
+        z = normal_at(21, np.arange(100000), std=0.05).astype(np.float64)
+        assert abs(z.std() - 0.05) < 0.003
+
+    def test_mean_shift(self):
+        z = normal_at(21, np.arange(50000), std=0.1, mean=2.0).astype(np.float64)
+        assert abs(z.mean() - 2.0) < 0.01
+
+    def test_gaussian_shape(self):
+        # Kolmogorov-ish check: central mass fractions of a standard normal.
+        z = normal_at(4, np.arange(100000)).astype(np.float64)
+        within1 = np.mean(np.abs(z) < 1.0)
+        within2 = np.mean(np.abs(z) < 2.0)
+        assert abs(within1 - 0.6827) < 0.02
+        assert abs(within2 - 0.9545) < 0.01
+
+    def test_dtype(self):
+        assert normal_at(1, np.arange(8)).dtype == np.float32
+        assert normal_at(1, np.arange(8), dtype=np.float64).dtype == np.float64
+
+    def test_disjoint_index_blocks_are_independent_streams(self):
+        a = normal_at(9, np.arange(0, 1000))
+        b = normal_at(9, np.arange(1000, 2000))
+        assert not np.array_equal(a, b)
+        # regenerating block a later still matches
+        np.testing.assert_array_equal(a, normal_at(9, np.arange(0, 1000)))
+
+
+def test_regen_cost_constants_match_paper():
+    # Six 32-bit integer ops plus one float op (Section 2.1).
+    assert REGEN_INT_OPS == 6
+    assert REGEN_FLOAT_OPS == 1
