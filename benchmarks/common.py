@@ -9,7 +9,8 @@ print the paper's numbers next to the measured ones and are also written to
 
 Scale knobs live in :data:`SCALE`; setting the environment variable
 ``REPRO_BENCH_SCALE=full`` multiplies dataset sizes and epochs toward the
-paper's regime (hours of CPU time).
+paper's regime (hours of CPU time), while ``REPRO_BENCH_SCALE=tiny`` is
+the CI smoke path (seconds).
 """
 
 from __future__ import annotations
@@ -18,10 +19,11 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import profile
 from repro.data import DataLoader, Dataset, synth_cifar, synth_mnist
 from repro.nn import Module
 from repro.optim import ConstantLR, Optimizer, Schedule
-from repro.train import Callback, History, Trainer
+from repro.train import Callback, History, ProfilerCallback, Trainer
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -43,7 +45,8 @@ class BenchScale:
 
 
 def _scale() -> BenchScale:
-    if os.environ.get("REPRO_BENCH_SCALE") == "full":
+    mode = os.environ.get("REPRO_BENCH_SCALE")
+    if mode == "full":
         return BenchScale(
             mnist_train=10_000,
             mnist_test=2_000,
@@ -52,6 +55,15 @@ def _scale() -> BenchScale:
             cifar_size=32,
             mnist_epochs=40,
             cifar_epochs=30,
+        )
+    if mode == "tiny":  # CI smoke: seconds, not minutes
+        return BenchScale(
+            mnist_train=400,
+            mnist_test=120,
+            cifar_train=240,
+            cifar_test=80,
+            mnist_epochs=2,
+            cifar_epochs=2,
         )
     return BenchScale()
 
@@ -96,10 +108,24 @@ def train_run(
     loss_fn=None,
     batch_size: int | None = None,
     patience: int | None = None,
+    profile_name: str | None = None,
 ) -> History:
-    """Run one training configuration and return its history."""
+    """Run one training configuration and return its history.
+
+    ``profile_name`` attaches a :class:`ProfilerCallback` and writes the
+    op-level report to ``benchmarks/results/perf_<profile_name>.json``.
+    """
     train, test = data
     lr = lr if lr is not None else optimizer.lr
+    callbacks = list(callbacks or [])
+    if profile_name is not None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        callbacks.append(
+            ProfilerCallback(
+                report_name=profile_name,
+                emit_path=RESULTS_DIR / f"perf_{profile_name}.json",
+            )
+        )
     trainer = Trainer(
         model,
         optimizer,
@@ -123,3 +149,51 @@ def emit_report(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_perf_report(name: str, report: profile.PerfReport) -> Path:
+    """Persist a perf report as ``benchmarks/results/perf_<name>.json``.
+
+    The machine-readable counterpart of :func:`emit_report`: CI archives
+    these files and ``scripts/check_perf_report.py`` diffs two of them.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return report.write(RESULTS_DIR / f"perf_{name}.json")
+
+
+def profiled_run(name: str, fn, meta: dict | None = None) -> profile.PerfReport:
+    """Run ``fn()`` with op-level profiling and emit ``perf_<name>.json``.
+
+    Convenience wrapper for benches that are plain callables rather than
+    :class:`Trainer` loops (which should attach :class:`ProfilerCallback`
+    — see :func:`train_run`'s ``profile_name``).
+    """
+    was_enabled = profile.is_enabled()
+    baseline = profile.snapshot()
+    profile.enable()
+    try:
+        fn()
+    finally:
+        if not was_enabled:
+            profile.disable()
+    snap = profile.snapshot()
+    ops = {}
+    for op_name, raw in snap["ops"].items():
+        base = baseline["ops"].get(op_name, {})
+        calls = raw["calls"] - base.get("calls", 0)
+        if calls <= 0:
+            continue
+        ops[op_name] = profile.OpStat(
+            name=op_name,
+            calls=calls,
+            total_seconds=raw["total_seconds"] - base.get("total_seconds", 0.0),
+            bytes_allocated=raw["bytes_allocated"] - base.get("bytes_allocated", 0),
+        )
+    counters = {
+        k: v - baseline["counters"].get(k, 0)
+        for k, v in snap["counters"].items()
+        if v - baseline["counters"].get(k, 0)
+    }
+    report = profile.PerfReport(name=name, ops=ops, counters=counters, meta=dict(meta or {}))
+    emit_perf_report(name, report)
+    return report

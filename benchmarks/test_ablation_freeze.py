@@ -48,7 +48,11 @@ def test_ablation_freeze_report(freeze_results, benchmark):
     table = format_table(
         ["compression", "freeze epoch", "best val acc"],
         [
-            [format_ratio(r["ratio"]), r["freeze"] if r["freeze"] else "never", format_percent(r["acc"])]
+            [
+                format_ratio(r["ratio"]),
+                r["freeze"] if r["freeze"] else "never",
+                format_percent(r["acc"]),
+            ]
             for r in freeze_results
         ],
     )
@@ -58,7 +62,9 @@ def test_ablation_freeze_report(freeze_results, benchmark):
 
 def test_ablation_freeze_claims(freeze_results, benchmark):
     def acc(ratio, freeze):
-        return next(r["acc"] for r in freeze_results if r["ratio"] == ratio and r["freeze"] == freeze)
+        return next(
+            r["acc"] for r in freeze_results if r["ratio"] == ratio and r["freeze"] == freeze
+        )
 
     # Low compression: freezing after epoch 1 costs little vs never freezing.
     assert abs(acc(4.5, 1) - acc(4.5, None)) < 0.08

@@ -16,7 +16,7 @@ import pytest
 from repro.core import HeapSelector, SortSelector
 from repro.utils import format_table
 
-from common import emit_report
+from common import emit_report, profiled_run
 
 N = 89_610  # MNIST-100-100 size
 K = 2_000
@@ -48,6 +48,27 @@ def test_selectors_agree(scores, benchmark):
 
 def test_benchmark_sort_selector(scores, benchmark):
     benchmark.pedantic(lambda: SortSelector().select(scores, K), rounds=10, iterations=1)
+
+
+def test_perf_report_emitted(scores):
+    """Profile a selector sweep and emit the machine-readable perf JSON.
+
+    This is the artifact the CI bench-smoke job uploads and that
+    ``scripts/check_perf_report.py`` diffs against a baseline.
+    """
+    from repro import profile
+
+    def sweep():
+        with profile.profiled("selector.sort"):
+            SortSelector().select(scores, K)
+        with profile.profiled("selector.heap"):
+            HeapSelector().select(scores, K)
+
+    report = profiled_run(
+        "ablation_topk_impl", sweep, meta={"n": N, "k": K, "bench": "ablation_topk_impl"}
+    )
+    assert report.ops["selector.sort"].calls == 1
+    assert report.ops["selector.heap"].calls == 1
 
 
 def test_benchmark_heap_selector(scores, benchmark):

@@ -59,7 +59,11 @@ def test_energy_report(energy_results, benchmark):
         format_table(
             ["weight compression", "energy reduction", "regen share of total"],
             [
-                [format_ratio(r["ratio"]), format_ratio(r["energy_ratio"]), f"{r['regen_share']:.2%}"]
+                [
+                    format_ratio(r["ratio"]),
+                    format_ratio(r["energy_ratio"]),
+                    f"{r['regen_share']:.2%}",
+                ]
                 for r in rows
             ],
         ),

@@ -21,8 +21,8 @@ from repro.data import (
     RandomHorizontalFlip,
 )
 from repro.models import wrn_10_1
-from repro.train import Trainer
 from repro.optim import ConstantLR
+from repro.train import Trainer
 from repro.utils import format_percent, format_table
 
 from common import SCALE, budget_for_ratio, cifar_data, emit_report

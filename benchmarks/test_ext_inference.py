@@ -55,7 +55,11 @@ def test_ext_inference_report(engine_setup, benchmark):
             ["stored weights", f"{model.num_parameters():,}", f"{engine.storage_floats():,}"],
             ["weight fetches / pass", f"{model.num_parameters():,}", f"{t.tracked_fetches:,}"],
             ["regenerations / pass", "0", f"{t.regenerations:,}"],
-            ["peak resident weights", f"{model.num_parameters():,}", f"{t.peak_resident_weights:,}"],
+            [
+                "peak resident weights",
+                f"{model.num_parameters():,}",
+                f"{t.peak_resident_weights:,}",
+            ],
             ["weight energy / pass", f"{dense_pj / 1e6:.1f} uJ", f"{engine_pj / 1e6:.1f} uJ"],
             ["energy saving", "-", format_ratio(dense_pj / engine_pj)],
             ["outputs bit-exact", "-", str(exact)],

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import SeedStats, seed_sweep
+from repro.analysis import seed_sweep
 from repro.core import DropBack
 from repro.models import mnist_100_100
 from repro.optim import SGD

@@ -13,8 +13,8 @@ import numpy as np
 import pytest
 
 from repro.core import DropBack
-from repro.init import normal_at
 from repro.core.selection import top_k_mask
+from repro.init import normal_at
 from repro.models import mnist_100_100, wrn_10_2
 from repro.optim import SGD
 from repro.tensor import Tensor, conv2d, cross_entropy

@@ -11,7 +11,6 @@ report measured error against the paper's numbers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import DropBack

@@ -32,7 +32,11 @@ PAPER_COMPRESSION = {
     "DropBack 1500": {"layers.1": 107.0, "layers.3": 19.7, "layers.5": 4.0},
 }
 
-LAYER_LABELS = {"layers.1": "fc1 (100x784)", "layers.3": "fc2 (100x100)", "layers.5": "fc3 (100x10)"}
+LAYER_LABELS = {
+    "layers.1": "fc1 (100x784)",
+    "layers.3": "fc2 (100x100)",
+    "layers.5": "fc3 (100x10)",
+}
 
 
 @pytest.fixture(scope="module")

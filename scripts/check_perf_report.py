@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Compare two perf reports and fail on wall-time regressions.
+
+Usage:
+    python scripts/check_perf_report.py BASELINE.json CURRENT.json \
+        [--threshold 0.30] [--min-seconds 0.005] [--top 20]
+
+Loads two ``perf_*.json`` files (written by ``repro.profile.PerfReport``)
+and exits non-zero if any op's total wall time regressed by more than
+``--threshold`` (default 30%).  Ops faster than ``--min-seconds`` in the
+baseline are skipped — they are timer noise at CI scale.
+
+This is the comparison tool the CI bench-smoke artifact feeds into: once a
+baseline report is committed (or fetched from a previous run's artifact),
+the job runs::
+
+    python scripts/check_perf_report.py baseline/perf_X.json \
+        benchmarks/results/perf_X.json
+
+New ops (present only in the current report) and removed ops are reported
+but never fail the check — only a measured slowdown of a shared op does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _ensure_repo_on_path() -> None:
+    src = Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def compare(baseline, current, threshold: float, min_seconds: float) -> tuple[list, list]:
+    """Return ``(regressions, rows)`` comparing two PerfReports.
+
+    ``regressions`` holds ``(name, base_s, cur_s, ratio)`` tuples for ops
+    whose wall time grew past ``threshold``; ``rows`` is the full
+    comparison table data for display.
+    """
+    regressions = []
+    rows = []
+    names = sorted(set(baseline.ops) | set(current.ops))
+    for name in names:
+        base = baseline.ops.get(name)
+        cur = current.ops.get(name)
+        if base is None:
+            rows.append([name, "-", f"{cur.total_seconds:.4f}", "new"])
+            continue
+        if cur is None:
+            rows.append([name, f"{base.total_seconds:.4f}", "-", "removed"])
+            continue
+        ratio = cur.total_seconds / base.total_seconds if base.total_seconds > 0 else 1.0
+        rows.append(
+            [name, f"{base.total_seconds:.4f}", f"{cur.total_seconds:.4f}", f"{ratio - 1:+.0%}"]
+        )
+        if base.total_seconds >= min_seconds and ratio > 1.0 + threshold:
+            regressions.append((name, base.total_seconds, cur.total_seconds, ratio))
+    return regressions, rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline perf_*.json")
+    parser.add_argument("current", help="current perf_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional slowdown per op (default 0.30)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="ignore ops faster than this in the baseline (noise floor)")
+    parser.add_argument("--top", type=int, default=20, help="rows to display")
+    args = parser.parse_args(argv)
+
+    _ensure_repo_on_path()
+    from repro.profile import PerfReport
+    from repro.utils import format_table
+
+    baseline = PerfReport.load(args.baseline)
+    current = PerfReport.load(args.current)
+
+    regressions, rows = compare(baseline, current, args.threshold, args.min_seconds)
+
+    print(f"baseline: {baseline.name} ({args.baseline})")
+    print(f"current:  {current.name} ({args.current})")
+    print(format_table(["op", "base s", "current s", "delta"], rows[: args.top]))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} op(s) regressed more than "
+              f"{args.threshold:.0%} (noise floor {args.min_seconds}s):")
+        for name, base_s, cur_s, ratio in regressions:
+            print(f"  {name}: {base_s:.4f}s -> {cur_s:.4f}s ({ratio - 1:+.0%})")
+        return 1
+    print(f"\nOK: no op regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

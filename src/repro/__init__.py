@@ -21,13 +21,15 @@ Quickstart::
     print(history.best_val_error, opt.compression_ratio)
 """
 
+from repro import profile
 from repro.core import DropBack, HeapSelector, SortSelector
 from repro.data import DataLoader, Dataset, synth_cifar, synth_mnist
 from repro.energy import EnergyModel
 from repro.nn import Module, Parameter
 from repro.optim import SGD, BoundedStepDecay, ConstantLR, StepDecay
+from repro.profile import PerfReport
 from repro.tensor import Tensor, no_grad
-from repro.train import FreezeCallback, Trainer, evaluate
+from repro.train import FreezeCallback, ProfilerCallback, Trainer, evaluate
 
 __version__ = "1.0.0"
 
@@ -49,7 +51,10 @@ __all__ = [
     "synth_cifar",
     "Trainer",
     "FreezeCallback",
+    "ProfilerCallback",
     "evaluate",
     "EnergyModel",
+    "profile",
+    "PerfReport",
     "__version__",
 ]

@@ -1,19 +1,19 @@
 """Analysis tooling behind the paper's figures and tables."""
 
 from repro.analysis.diffusion import DiffusionTracker, l2_distance, log_diffusion_fit
+from repro.analysis.flops import LayerFlops, count_flops, regen_overhead_ratio
 from repro.analysis.gradients import (
     TopKChurnTracker,
     accumulated_gradients,
     gradient_density,
 )
-from repro.analysis.pca import PCA, project_trajectories, trajectory_divergence
-from repro.analysis.flops import LayerFlops, count_flops, regen_overhead_ratio
 from repro.analysis.overlap import (
     expected_random_overlap,
     jaccard,
     nested_budget_overlap,
     overlap_coefficient,
 )
+from repro.analysis.pca import PCA, project_trajectories, trajectory_divergence
 from repro.analysis.retention import LayerRetention, layer_retention_table
 from repro.analysis.stats import SeedStats, seed_sweep, summarize
 from repro.analysis.sweep import SweepPoint, compression_sweep, find_knee

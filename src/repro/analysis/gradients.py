@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import Module
 from repro.core.selection import top_k_mask
+from repro.nn import Module
 from repro.train.callbacks import Callback
 
 __all__ = ["accumulated_gradients", "gradient_density", "TopKChurnTracker"]

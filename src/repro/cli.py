@@ -8,6 +8,9 @@ Commands
     Train a model on a synthetic dataset with a chosen technique.
 ``energy``
     Print the analytic energy table for a model and budget.
+``profile``
+    Run one experiment config under the op-level profiler and print the
+    sorted hot-spot table (optionally writing the perf JSON).
 
 The CLI drives the same public API as the examples; it exists so that the
 headline experiment is one shell command away::
@@ -22,9 +25,11 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import profile
 from repro.core import DropBack
 from repro.data import DataLoader, synth_cifar, synth_mnist
 from repro.energy import EnergyModel
+from repro.experiments import get_experiment, list_experiments, run_config
 from repro.models import (
     densenet_2_7m,
     densenet_tiny,
@@ -117,6 +122,47 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    configs = get_experiment(args.experiment)
+    if args.run:
+        matches = [c for c in configs if c.name == args.run]
+        if not matches:
+            names = ", ".join(c.name for c in configs)
+            print(f"unknown run {args.run!r} in {args.experiment}; available: {names}",
+                  file=sys.stderr)
+            return 2
+        cfg = matches[0]
+    else:
+        cfg = configs[0]
+
+    print(f"profiling {cfg.name} ({cfg.technique}, scale={args.scale}) ...")
+    profile.reset()
+    profile.enable()
+    try:
+        result = run_config(cfg, scale=args.scale, seed=args.seed)
+    finally:
+        profile.disable()
+
+    report = profile.PerfReport.from_registry(
+        f"profile_{cfg.name.replace('/', '-')}",
+        meta={
+            "experiment": args.experiment,
+            "config": cfg.to_dict(),
+            "scale": args.scale,
+            "seed": args.seed,
+            "val_error": result.val_error,
+        },
+    )
+    print()
+    print(report.hotspot_table(limit=args.top))
+    print(f"\ntotal instrumented wall time: {report.total_seconds:.2f} s  "
+          f"(val error {format_percent(result.val_error)})")
+    if args.out:
+        path = report.write(args.out)
+        print(f"perf report written to {path}")
+    return 0
+
+
 def cmd_energy(args: argparse.Namespace) -> int:
     factory, _ = MODELS[args.model]
     model = factory()
@@ -163,6 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--patience", type=int, default=None)
     p_train.add_argument("--seed", type=int, default=42)
     p_train.set_defaults(func=cmd_train)
+
+    p_profile = sub.add_parser("profile", help="op-level hot-spot profile of one config")
+    p_profile.add_argument("--experiment", choices=list_experiments(), default="table1")
+    p_profile.add_argument("--run", default=None,
+                           help="config name within the experiment (default: first)")
+    p_profile.add_argument("--scale", type=float, default=0.1)
+    p_profile.add_argument("--seed", type=int, default=42)
+    p_profile.add_argument("--top", type=int, default=20)
+    p_profile.add_argument("--out", default=None, help="write perf JSON to this path")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_energy = sub.add_parser("energy", help="analytic energy comparison")
     p_energy.add_argument("--model", choices=MODELS, default="wrn-28-10")

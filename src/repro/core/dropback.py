@@ -28,9 +28,10 @@ from typing import Literal
 
 import numpy as np
 
+from repro.core.selection import Selector, SortSelector
 from repro.nn import Module, Parameter
 from repro.optim.base import Optimizer
-from repro.core.selection import Selector, SortSelector
+from repro.profile import profiled
 
 __all__ = ["DropBack"]
 
@@ -159,44 +160,52 @@ class DropBack(Optimizer):
         """One DropBack update (Algorithm 1)."""
         reference = self._reference
         if self.strict_regeneration:
-            seed = self.model.seed
-            w0 = [p.initializer.regenerate(seed, p.base_index, p.shape) for _, p in self._prunable]
-            reference = [np.zeros_like(v) if self.zero_untracked else v for v in w0]
-        else:
-            w0 = self._w0
+            with profiled("dropback.regenerate"):
+                seed = self.model.seed
+                w0 = [
+                    p.initializer.regenerate(seed, p.base_index, p.shape)
+                    for _, p in self._prunable
+                ]
+                reference = [np.zeros_like(v) if self.zero_untracked else v for v in w0]
 
-        # 1. SGD candidates for every prunable parameter.
-        candidates = []
-        for (_, p), ref in zip(self._prunable, reference):
-            if p.grad is None:
-                candidates.append(p.data.copy())
-            else:
-                candidates.append(p.data - self.lr * p.grad)
+        # 1. SGD candidates for every prunable parameter (the accumulated-
+        # gradient update each weight *would* take).
+        with profiled("dropback.accumulate"):
+            candidates = []
+            for (_, p), ref in zip(self._prunable, reference):
+                if p.grad is None:
+                    candidates.append(p.data.copy())
+                else:
+                    candidates.append(p.data - self.lr * p.grad)
 
         # 2-3. Score and select the tracked set.
         if self.frozen:
             mask_flat = self._mask_flat
         else:
-            scores = np.empty(self.total_prunable, dtype=np.float64)
-            for (lo, hi), cand, ref_p, (_, p) in zip(
-                zip(self._offsets[:-1], self._offsets[1:]), candidates, reference, self._prunable
-            ):
-                if self.criterion == "accumulated":
-                    # Accumulated gradient = total applied update = distance
-                    # from the value untracked weights reset to (W(0), or 0
-                    # in the zeroing ablation — where this degenerates to
-                    # magnitude selection, cf. paper Section 2.1).
-                    s = np.abs(cand - ref_p)
-                elif self.criterion == "magnitude":
-                    s = np.abs(cand)
-                else:  # current-step gradient
-                    s = (
-                        np.abs(self.lr * p.grad)
-                        if p.grad is not None
-                        else np.zeros_like(cand)
-                    )
-                scores[lo:hi] = s.reshape(-1)
-            mask_flat = self.selector.select(scores, self.k)
+            with profiled("dropback.topk"):
+                scores = np.empty(self.total_prunable, dtype=np.float64)
+                for (lo, hi), cand, ref_p, (_, p) in zip(
+                    zip(self._offsets[:-1], self._offsets[1:]),
+                    candidates,
+                    reference,
+                    self._prunable,
+                ):
+                    if self.criterion == "accumulated":
+                        # Accumulated gradient = total applied update = distance
+                        # from the value untracked weights reset to (W(0), or 0
+                        # in the zeroing ablation — where this degenerates to
+                        # magnitude selection, cf. paper Section 2.1).
+                        s = np.abs(cand - ref_p)
+                    elif self.criterion == "magnitude":
+                        s = np.abs(cand)
+                    else:  # current-step gradient
+                        s = (
+                            np.abs(self.lr * p.grad)
+                            if p.grad is not None
+                            else np.zeros_like(cand)
+                        )
+                    scores[lo:hi] = s.reshape(-1)
+                mask_flat = self.selector.select(scores, self.k)
             if self._mask_flat is not None:
                 self.last_swaps = int(np.count_nonzero(mask_flat & ~self._mask_flat))
             else:
@@ -205,16 +214,17 @@ class DropBack(Optimizer):
             self._mask_flat = mask_flat
 
         # 4. Commit: tracked weights take the update, the rest regenerate.
-        for (lo, hi), cand, ref, (_, p) in zip(
-            zip(self._offsets[:-1], self._offsets[1:]), candidates, reference, self._prunable
-        ):
-            m = mask_flat[lo:hi].reshape(p.shape)
-            p.data = np.where(m, cand, ref).astype(p.data.dtype)
+        with profiled("dropback.regenerate"):
+            for (lo, hi), cand, ref, (_, p) in zip(
+                zip(self._offsets[:-1], self._offsets[1:]), candidates, reference, self._prunable
+            ):
+                m = mask_flat[lo:hi].reshape(p.shape)
+                p.data = np.where(m, cand, ref).astype(p.data.dtype)
 
-        # Non-prunable parameters (only with include_nonprunable=False).
-        for p in self._fixed:
-            if p.grad is not None:
-                p.data = p.data - self.lr * p.grad
+            # Non-prunable parameters (only with include_nonprunable=False).
+            for p in self._fixed:
+                if p.grad is not None:
+                    p.data = p.data - self.lr * p.grad
 
         # Access accounting: k tracked weights are read and written; every
         # untracked weight is regenerated on-chip instead of fetched.

@@ -61,7 +61,9 @@ class Dataset:
         return f"Dataset({self.name}, n={len(self)}, shape={self.sample_shape})"
 
 
-def train_val_split(ds: Dataset, val_fraction: float = 0.2, seed: int = 0) -> tuple[Dataset, Dataset]:
+def train_val_split(
+    ds: Dataset, val_fraction: float = 0.2, seed: int = 0
+) -> tuple[Dataset, Dataset]:
     """Deterministic shuffled split into train and validation subsets."""
     if not 0.0 < val_fraction < 1.0:
         raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")

@@ -27,7 +27,9 @@ from repro.data.dataset import Dataset
 __all__ = ["digit_strokes", "render_digits", "synth_mnist"]
 
 
-def _arc(cx: float, cy: float, r: float, a0: float, a1: float, n: int = 8) -> list[tuple[float, float]]:
+def _arc(
+    cx: float, cy: float, r: float, a0: float, a1: float, n: int = 8
+) -> list[tuple[float, float]]:
     """Polyline approximation of a circular arc (angles in degrees)."""
     ts = np.linspace(math.radians(a0), math.radians(a1), n)
     return [(cx + r * math.cos(t), cy + r * math.sin(t)) for t in ts]

@@ -25,6 +25,8 @@ from repro.models import (
 )
 from repro.optim import SGD, ConstantLR
 from repro.prune import (
+    DSD,
+    GradualMagnitudePruning,
     MagnitudePruning,
     SlimmingSGD,
     make_variational,
@@ -34,7 +36,6 @@ from repro.prune import (
     vd_sparsity,
 )
 from repro.quant import QuantizedDropBack
-from repro.prune import DSD, GradualMagnitudePruning
 from repro.train import FreezeCallback, Trainer
 from repro.utils.explog import ExperimentLogger
 

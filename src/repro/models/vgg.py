@@ -30,7 +30,9 @@ from repro.nn import (
 __all__ = ["vgg_s", "VGG16_CONFIG"]
 
 #: VGG-16 configuration "D": channel widths with 'M' = 2x2 max-pool.
-VGG16_CONFIG: tuple = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M")
+VGG16_CONFIG: tuple = (
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"
+)
 
 
 def vgg_s(

@@ -184,7 +184,9 @@ class Module:
         for key, arr in state.items():
             if key in params:
                 if params[key].shape != arr.shape:
-                    raise ValueError(f"shape mismatch for {key}: {params[key].shape} vs {arr.shape}")
+                    raise ValueError(
+                        f"shape mismatch for {key}: {params[key].shape} vs {arr.shape}"
+                    )
                 params[key].data = arr.astype(np.float32).copy()
             elif key in buffers:
                 self._set_buffer(key, arr)

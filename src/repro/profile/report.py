@@ -1,0 +1,140 @@
+"""Machine-readable performance reports.
+
+A :class:`PerfReport` freezes a registry snapshot (per-op wall time, call
+counts, bytes) plus run metadata into a JSON document with a versioned
+schema.  Reports are written as ``perf_<name>.json`` next to the human
+bench tables in ``benchmarks/results/`` so CI can archive them and
+``scripts/check_perf_report.py`` can diff two runs for regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.profile.core import OpStat, registry
+
+__all__ = ["PerfReport", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class PerfReport:
+    """One profiling run, ready to serialize.
+
+    ``ops`` maps op name to its :class:`OpStat`; ``counters`` holds bare
+    tallies; ``meta`` is free-form run context (config name, scale, ...).
+    """
+
+    name: str
+    ops: dict[str, OpStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    created: float = field(default_factory=time.time)
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_registry(cls, name: str, meta: dict | None = None, reg=None) -> "PerfReport":
+        """Snapshot the (global by default) registry into a report."""
+        snap = (reg or registry).snapshot()
+        return cls(
+            name=name,
+            ops={k: OpStat.from_dict(v) for k, v in snap["ops"].items()},
+            counters=snap["counters"],
+            meta=dict(meta or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "created": self.created,
+            "platform": platform.platform(),
+            "meta": self.meta,
+            "ops": {k: v.to_dict() for k, v in sorted(self.ops.items())},
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfReport":
+        if d.get("schema_version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported perf-report schema: {d.get('schema_version')!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            name=d["name"],
+            ops={k: OpStat.from_dict(v) for k, v in d.get("ops", {}).items()},
+            counters={k: int(v) for k, v in d.get("counters", {}).items()},
+            meta=dict(d.get("meta", {})),
+            created=float(d.get("created", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfReport":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(op.total_seconds for op in self.ops.values())
+
+    def hotspots(self, limit: int | None = None) -> list[OpStat]:
+        """Ops sorted by descending wall time."""
+        ranked = sorted(self.ops.values(), key=lambda s: -s.total_seconds)
+        return ranked if limit is None else ranked[:limit]
+
+    def hotspot_table(self, limit: int | None = 20) -> str:
+        """Human-readable per-op hot-spot table (sorted by wall time)."""
+        from repro.utils import format_table
+
+        total = self.total_seconds or 1.0
+        rows = []
+        for op in self.hotspots(limit):
+            mean_us = 1e6 * op.total_seconds / max(op.calls, 1)
+            rows.append(
+                [
+                    op.name,
+                    f"{op.calls:,}",
+                    f"{op.total_seconds * 1e3:,.1f}",
+                    f"{mean_us:,.1f}",
+                    f"{op.bytes_allocated / 1e6:,.1f}",
+                    f"{op.total_seconds / total:.1%}",
+                ]
+            )
+        table = format_table(
+            ["op", "calls", "total ms", "mean us", "MB alloc", "share"], rows
+        )
+        if self.counters:
+            counter_rows = [[k, f"{v:,}"] for k, v in sorted(self.counters.items())]
+            table += "\n\ncounters\n" + format_table(["counter", "value"], counter_rows)
+        return table

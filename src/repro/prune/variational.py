@@ -94,7 +94,9 @@ class VDLinear(Module, _VDMixin):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter((out_features, in_features), ScaledNormalInit(lecun_std(in_features)))
+        self.weight = Parameter(
+            (out_features, in_features), ScaledNormalInit(lecun_std(in_features))
+        )
         self.log_sigma2 = Parameter((out_features, in_features), ConstantInit(init_log_sigma2))
         self.bias = Parameter((out_features,), ConstantInit(0.0)) if bias else None
         self._rng = np.random.default_rng(seed)

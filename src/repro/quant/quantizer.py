@@ -49,7 +49,12 @@ class UniformQuantizer:
     def scale_for(self, values: np.ndarray) -> float:
         """Per-tensor scale mapping the max magnitude onto the int range."""
         m = float(np.abs(values).max()) if values.size else 0.0
-        return m / self.qmax if m > 0 else 1.0
+        if m <= 0:
+            return 1.0
+        scale = m / self.qmax
+        # denormal m can underflow the division to exactly 0.0, which would
+        # turn values/scale into nan/inf and overflow the int32 cast
+        return scale if scale > 0 else float(np.finfo(np.float64).tiny)
 
     def quantize(self, values: np.ndarray, scale: float | None = None) -> tuple[np.ndarray, float]:
         """Quantize to integers; returns ``(int_values, scale)``."""

@@ -12,11 +12,22 @@ All tensors are NCHW.
 
 from __future__ import annotations
 
+import sys
+import threading
+
 import numpy as np
 
+from repro.profile import add_counter, profiled
 from repro.tensor.tensor import Tensor
 
-__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d", "conv_out_size"]
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "conv_out_size",
+    "clear_workspace_cache",
+]
 
 
 def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
@@ -29,6 +40,50 @@ def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
+# ---------------------------------------------------------------------- #
+# col2im workspace cache
+# ---------------------------------------------------------------------- #
+#
+# The col2im scatter-add needs a zeroed padded buffer every backward call;
+# for a conv net that is one large allocation per conv layer per step.  The
+# buffers are reused via a small per-(shape, dtype) pool.  Reuse is only
+# safe once no gradient array still aliases the buffer (the returned
+# gradient is the buffer itself, or an interior view when pad > 0), so a
+# buffer is handed out again only when its CPython refcount shows no
+# outstanding holders.  Hits/misses are observable via the profiler
+# counters ``conv.workspace_hits`` / ``conv.workspace_misses``.
+
+_WORKSPACE_LOCK = threading.Lock()
+_WORKSPACE: dict[tuple, list[np.ndarray]] = {}
+_WORKSPACE_MAX_PER_KEY = 4
+
+
+def clear_workspace_cache() -> None:
+    """Drop all cached col2im workspaces (tests / memory pressure)."""
+    with _WORKSPACE_LOCK:
+        _WORKSPACE.clear()
+
+
+def _acquire_workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A zeroed array of ``shape``/``dtype``, reused across backward calls."""
+    key = (shape, np.dtype(dtype).str)
+    with _WORKSPACE_LOCK:
+        pool = _WORKSPACE.setdefault(key, [])
+        for buf in pool:
+            # pool entry + loop variable + getrefcount argument == 3 refs
+            # exactly when no caller (gradient array, view) holds it.
+            if sys.getrefcount(buf) == 3:
+                buf.fill(0)
+                add_counter("conv.workspace_hits")
+                return buf
+        buf = np.zeros(shape, dtype=dtype)
+        if len(pool) < _WORKSPACE_MAX_PER_KEY:
+            pool.append(buf)
+        add_counter("conv.workspace_misses")
+        return buf
+
+
+@profiled("conv.im2col")
 def _im2col(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int, oh: int, ow: int) -> np.ndarray:
     """Extract conv patches: (N, C, H, W) -> (N, C*KH*KW, OH*OW)."""
     n, c = xp.shape[:2]
@@ -39,6 +94,7 @@ def _im2col(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int, oh: int, ow: int
     return cols.reshape(n, c * kh * kw, oh * ow)
 
 
+@profiled("conv.col2im")
 def _col2im(
     cols: np.ndarray,
     x_shape: tuple[int, ...],
@@ -53,7 +109,7 @@ def _col2im(
     """Scatter-add patches back: inverse of :func:`_im2col` (gradient flow)."""
     n, c, h, w = x_shape
     hp, wp = h + 2 * pad, w + 2 * pad
-    xg = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    xg = _acquire_workspace((n, c, hp, wp), cols.dtype)
     cols = cols.reshape(n, c, kh, kw, oh, ow)
     for i in range(kh):
         for j in range(kw):
@@ -63,6 +119,7 @@ def _col2im(
     return xg
 
 
+@profiled("conv2d.forward")
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
     """2-D convolution (cross-correlation) with optional bias.
 
@@ -94,21 +151,23 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g, out=None):
-        g2 = g.reshape(n, f, oh * ow)  # (N, F, OH*OW)
-        if bias is not None and bias.requires_grad:
-            out._accumulate(bias, g2.sum(axis=(0, 2)))
-        if weight.requires_grad:
-            # Sum over batch of (F, OH*OW) @ (OH*OW, C*KH*KW)
-            gw = np.einsum("nfo,nko->fk", g2, cols, optimize=True)
-            out._accumulate(weight, gw.reshape(weight.shape))
-        if x.requires_grad:
-            gcols = np.matmul(w_flat.T, g2)  # (N, C*KH*KW, OH*OW)
-            out._accumulate(x, _col2im(gcols, x.shape, kh, kw, stride, stride, oh, ow, pad))
+        with profiled("conv2d.backward"):
+            g2 = g.reshape(n, f, oh * ow)  # (N, F, OH*OW)
+            if bias is not None and bias.requires_grad:
+                out._accumulate(bias, g2.sum(axis=(0, 2)))
+            if weight.requires_grad:
+                # Sum over batch of (F, OH*OW) @ (OH*OW, C*KH*KW)
+                gw = np.einsum("nfo,nko->fk", g2, cols, optimize=True)
+                out._accumulate(weight, gw.reshape(weight.shape))
+            if x.requires_grad:
+                gcols = np.matmul(w_flat.T, g2)  # (N, C*KH*KW, OH*OW)
+                out._accumulate(x, _col2im(gcols, x.shape, kh, kw, stride, stride, oh, ow, pad))
 
     out = Tensor.from_op(out_data, parents, lambda g: backward(g, out))
     return out
 
 
+@profiled("pool.max.forward")
 def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) square windows."""
     stride = stride or kernel
@@ -128,17 +187,21 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
 
     def backward(g, out=None):
         if x.requires_grad:
-            xg = np.zeros_like(x.data)
-            for win in range(kernel * kernel):
-                i, j = divmod(win, kernel)
-                mask = arg == win
-                xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += g * mask
-            out._accumulate(x, xg)
+            with profiled("pool.max.backward"):
+                xg = np.zeros_like(x.data)
+                for win in range(kernel * kernel):
+                    i, j = divmod(win, kernel)
+                    mask = arg == win
+                    xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                        g * mask
+                    )
+                out._accumulate(x, xg)
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
     return out
 
 
+@profiled("pool.avg.forward")
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     """Average pooling over square windows."""
     stride = stride or kernel
@@ -155,12 +218,13 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
 
     def backward(g, out=None):
         if x.requires_grad:
-            xg = np.zeros_like(x.data)
-            gi = g * inv
-            for i in range(kernel):
-                for j in range(kernel):
-                    xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += gi
-            out._accumulate(x, xg)
+            with profiled("pool.avg.backward"):
+                xg = np.zeros_like(x.data)
+                gi = g * inv
+                for i in range(kernel):
+                    for j in range(kernel):
+                        xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += gi
+                out._accumulate(x, xg)
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
     return out

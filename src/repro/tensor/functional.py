@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.profile import profiled
 from repro.tensor.tensor import Tensor, unbroadcast
 
 __all__ = [
@@ -78,6 +79,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     return out
 
 
+@profiled("batch_norm.forward")
 def batch_norm(
     x: Tensor,
     gamma: Tensor,
@@ -119,20 +121,20 @@ def batch_norm(
     out_data = g_ * xhat + b_
 
     def backward(g, out=None):
-        if gamma.requires_grad:
-            out._accumulate(gamma, (g * xhat).sum(axis=axes))
-        if beta.requires_grad:
-            out._accumulate(beta, g.sum(axis=axes))
-        if x.requires_grad:
-            if training:
-                m_ = x.data.size / x.data.shape[1]
-                gxhat = g * g_
-                term1 = gxhat
-                term2 = gxhat.mean(axis=axes, keepdims=True)
-                term3 = xhat * (gxhat * xhat).mean(axis=axes, keepdims=True)
-                out._accumulate(x, (term1 - term2 - term3) * inv_std)
-            else:
-                out._accumulate(x, g * g_ * inv_std)
+        with profiled("batch_norm.backward"):
+            if gamma.requires_grad:
+                out._accumulate(gamma, (g * xhat).sum(axis=axes))
+            if beta.requires_grad:
+                out._accumulate(beta, g.sum(axis=axes))
+            if x.requires_grad:
+                if training:
+                    gxhat = g * g_
+                    term1 = gxhat
+                    term2 = gxhat.mean(axis=axes, keepdims=True)
+                    term3 = xhat * (gxhat * xhat).mean(axis=axes, keepdims=True)
+                    out._accumulate(x, (term1 - term2 - term3) * inv_std)
+                else:
+                    out._accumulate(x, g * g_ * inv_std)
 
     out = Tensor.from_op(out_data, (x, gamma, beta), lambda g: backward(g, out))
     return out

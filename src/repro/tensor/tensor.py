@@ -27,6 +27,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.profile import profiled
+
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
 
@@ -152,7 +154,10 @@ class Tensor:
 
     def __repr__(self) -> str:
         tag = f", name={self.name!r}" if self.name else ""
-        return f"Tensor(shape={self.shape}, dtype={self.dtype}, requires_grad={self.requires_grad}{tag})"
+        return (
+            f"Tensor(shape={self.shape}, dtype={self.dtype},"
+            f" requires_grad={self.requires_grad}{tag})"
+        )
 
     def __len__(self) -> int:
         return len(self.data)
@@ -294,17 +299,19 @@ class Tensor:
         out = Tensor.from_op(out_data, (self,), lambda g: backward(g, out))
         return out
 
+    @profiled("tensor.matmul")
     def __matmul__(self, other):
         other = self._coerce(other)
         out_data = self.data @ other.data
 
         def backward(g, out=None):
-            if self.requires_grad:
-                ga = g @ np.swapaxes(other.data, -1, -2)
-                out._accumulate(self, unbroadcast(ga, self.shape))
-            if other.requires_grad:
-                gb = np.swapaxes(self.data, -1, -2) @ g
-                out._accumulate(other, unbroadcast(gb, other.shape))
+            with profiled("tensor.matmul.backward"):
+                if self.requires_grad:
+                    ga = g @ np.swapaxes(other.data, -1, -2)
+                    out._accumulate(self, unbroadcast(ga, self.shape))
+                if other.requires_grad:
+                    gb = np.swapaxes(self.data, -1, -2) @ g
+                    out._accumulate(other, unbroadcast(gb, other.shape))
 
         out = Tensor.from_op(out_data, (self, other), lambda g: backward(g, out))
         return out

@@ -4,6 +4,7 @@ from repro.train.callbacks import (
     Callback,
     FreezeCallback,
     LambdaCallback,
+    ProfilerCallback,
     WeightSnapshotCallback,
 )
 from repro.train.metrics import accuracy, error_rate, evaluate
@@ -16,6 +17,7 @@ __all__ = [
     "FreezeCallback",
     "WeightSnapshotCallback",
     "LambdaCallback",
+    "ProfilerCallback",
     "accuracy",
     "error_rate",
     "evaluate",

@@ -9,14 +9,24 @@ tracked-set churn (Fig. 2).
 
 from __future__ import annotations
 
+from pathlib import Path
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.profile import OpStat, PerfReport, disable, enable, is_enabled, snapshot
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.train.trainer import Trainer
 
-__all__ = ["Callback", "FreezeCallback", "WeightSnapshotCallback", "LambdaCallback"]
+__all__ = [
+    "Callback",
+    "FreezeCallback",
+    "WeightSnapshotCallback",
+    "LambdaCallback",
+    "ProfilerCallback",
+]
 
 
 class Callback:
@@ -93,6 +103,114 @@ class WeightSnapshotCallback(Callback):
     def stacked(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(steps, snapshot_matrix)`` with one row per snapshot."""
         return np.asarray(self.steps), np.stack(self.snapshots)
+
+
+class ProfilerCallback(Callback):
+    """Trace a training run through the :mod:`repro.profile` registry.
+
+    On ``on_train_begin`` the callback (optionally) enables profiling and
+    snapshots the registry; on ``on_train_end`` it folds the *delta* — only
+    what this run recorded — into a :class:`~repro.profile.PerfReport`
+    available as :attr:`report`, restoring the previous enable state.  Epoch
+    wall time and step counts are traced on the way (``epoch_trace`` in the
+    report metadata), so a report carries op-level, step-level, and
+    epoch-level cost in one JSON document.
+
+    Parameters
+    ----------
+    report_name:
+        Name stamped into the report (and the default file stem).
+    enable:
+        Turn profiling on for the duration of the run (default True).  Pass
+        False to only *observe* — the callback then reports whatever ops
+        record under the caller's own enable window.
+    emit_path:
+        Optional path; when given, the report is written there as JSON on
+        ``on_train_end``.
+    meta:
+        Extra key/values merged into the report metadata (config name, ...).
+    """
+
+    def __init__(
+        self,
+        report_name: str = "train",
+        enable: bool = True,
+        emit_path: str | Path | None = None,
+        meta: dict | None = None,
+    ):
+        self.report_name = report_name
+        self.enable = bool(enable)
+        self.emit_path = Path(emit_path) if emit_path is not None else None
+        self.meta = dict(meta or {})
+        self.report: PerfReport | None = None
+        self.epoch_trace: list[dict] = []
+        self._was_enabled = False
+        self._baseline: dict = {"ops": {}, "counters": {}}
+        self._train_t0 = 0.0
+        self._epoch_t0 = 0.0
+        self._steps = 0
+        self._epoch_steps = 0
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        self._was_enabled = is_enabled()
+        if self.enable:
+            enable()
+        self._baseline = snapshot()
+        self.epoch_trace = []
+        self._steps = 0
+        self._train_t0 = perf_counter()
+
+    def on_epoch_begin(self, trainer: "Trainer", epoch: int) -> None:
+        self._epoch_t0 = perf_counter()
+        self._epoch_steps = 0
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        self._steps += 1
+        self._epoch_steps += 1
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None:
+        self.epoch_trace.append(
+            {
+                "epoch": epoch,
+                "seconds": perf_counter() - self._epoch_t0,
+                "steps": self._epoch_steps,
+            }
+        )
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        wall = perf_counter() - self._train_t0
+        snap = snapshot()
+        ops: dict[str, OpStat] = {}
+        for name, raw in snap["ops"].items():
+            base = self._baseline["ops"].get(name, {})
+            calls = raw["calls"] - base.get("calls", 0)
+            if calls <= 0:
+                continue
+            ops[name] = OpStat(
+                name=name,
+                calls=calls,
+                total_seconds=raw["total_seconds"] - base.get("total_seconds", 0.0),
+                bytes_allocated=raw["bytes_allocated"] - base.get("bytes_allocated", 0),
+            )
+        counters = {
+            name: value - self._baseline["counters"].get(name, 0)
+            for name, value in snap["counters"].items()
+            if value - self._baseline["counters"].get(name, 0)
+        }
+        meta = {
+            "wall_seconds": wall,
+            "steps": self._steps,
+            "epochs": len(self.epoch_trace),
+            "epoch_trace": self.epoch_trace,
+            **self.meta,
+        }
+        self.report = PerfReport(
+            name=self.report_name, ops=ops, counters=counters, meta=meta
+        )
+        if self.enable and not self._was_enabled:
+            disable()
+        if self.emit_path is not None:
+            self.report.write(self.emit_path)
 
 
 class LambdaCallback(Callback):

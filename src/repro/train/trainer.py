@@ -16,6 +16,7 @@ import numpy as np
 from repro.data import DataLoader, Dataset
 from repro.nn import Module
 from repro.optim import Optimizer, Schedule
+from repro.profile import profiled
 from repro.tensor import Tensor, cross_entropy
 from repro.train.callbacks import Callback
 from repro.train.metrics import evaluate
@@ -116,10 +117,13 @@ class Trainer:
             losses = []
             for xb, yb in train_loader:
                 self.optimizer.zero_grad()
-                logits = self.model(Tensor(xb))
-                loss = self.loss_fn(logits, yb)
-                loss.backward()
-                self.optimizer.step()
+                with profiled("trainer.forward"):
+                    logits = self.model(Tensor(xb))
+                    loss = self.loss_fn(logits, yb)
+                with profiled("trainer.backward"):
+                    loss.backward()
+                with profiled("trainer.optimizer_step"):
+                    self.optimizer.step()
                 loss_val = loss.item()
                 losses.append(loss_val)
                 if self.stop_on_divergence and not np.isfinite(loss_val):
@@ -133,7 +137,8 @@ class Trainer:
                     cb.on_train_end(self)
                 return self.history
 
-            val_acc = evaluate(self.model, val_data)
+            with profiled("trainer.evaluate"):
+                val_acc = evaluate(self.model, val_data)
             logs: dict = {
                 "epoch": epoch,
                 "train_loss": float(np.mean(losses)) if losses else float("nan"),

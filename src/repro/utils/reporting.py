@@ -44,7 +44,10 @@ def ascii_series(values: Sequence[float], width: int = 60, height: int = 12,
     lo, hi = min(vals), max(vals)
     span = (hi - lo) or 1.0
     # Downsample/stretch to the target width.
-    idx = [int(i * (len(vals) - 1) / max(width - 1, 1)) for i in range(min(width, max(len(vals), 1)))]
+    idx = [
+        int(i * (len(vals) - 1) / max(width - 1, 1))
+        for i in range(min(width, max(len(vals), 1)))
+    ]
     cols = [vals[i] for i in idx]
     grid = [[" "] * len(cols) for _ in range(height)]
     for x, v in enumerate(cols):

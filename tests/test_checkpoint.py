@@ -18,8 +18,8 @@ from repro.io import (
 )
 from repro.models import mnist_100_100, wrn_10_1
 from repro.optim import ConstantLR
-from repro.train import Trainer, evaluate
 from repro.tensor import Tensor, cross_entropy
+from repro.train import Trainer, evaluate
 
 
 def _trained(tiny_mnist, k=4000, epochs=1, seed=3):

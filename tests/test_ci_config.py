@@ -1,0 +1,118 @@
+"""Validate the CI pipeline config and the perf-regression gate it calls.
+
+The workflow file must stay loadable by a YAML parser and keep the three
+jobs the pipeline is built around (tests, lint, bench-smoke); the
+``scripts/check_perf_report.py`` comparison logic is tested directly by
+importing the script as a module.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.profile import OpStat, PerfReport
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+yaml = pytest.importorskip("yaml")
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    path = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+    assert path.is_file(), "CI workflow file missing"
+    return yaml.safe_load(path.read_text())
+
+
+class TestWorkflowConfig:
+    def test_parses_and_has_expected_jobs(self, workflow):
+        assert set(workflow["jobs"]) == {"tests", "lint", "bench-smoke"}
+
+    def test_triggers_on_push_and_pr(self, workflow):
+        # YAML 1.1 parses the bare key `on` as boolean True
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers
+        assert triggers["push"]["branches"] == ["main"]
+
+    def test_tests_job_covers_python_matrix(self, workflow):
+        matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.10", "3.12"]
+        steps = " ".join(s.get("run", "") for s in workflow["jobs"]["tests"]["steps"])
+        assert "pytest" in steps
+
+    def test_lint_job_runs_ruff_and_compileall(self, workflow):
+        steps = " ".join(s.get("run", "") for s in workflow["jobs"]["lint"]["steps"])
+        assert "ruff check src tests benchmarks" in steps
+        assert "compileall" in steps
+
+    def test_bench_smoke_uploads_perf_artifact(self, workflow):
+        job = workflow["jobs"]["bench-smoke"]
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "check_perf_report.py" in runs
+        env = [s.get("env", {}) for s in job["steps"]]
+        assert {"REPRO_BENCH_SCALE": "tiny"} in env
+        uploads = [s for s in job["steps"] if "upload-artifact" in s.get("uses", "")]
+        assert uploads and "perf_*.json" in uploads[0]["with"]["path"]
+
+
+def _load_checker():
+    path = REPO_ROOT / "scripts" / "check_perf_report.py"
+    spec = importlib.util.spec_from_file_location("check_perf_report", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _report(name: str, seconds_by_op: dict[str, float]) -> PerfReport:
+    return PerfReport(
+        name=name,
+        ops={
+            op: OpStat(name=op, calls=1, total_seconds=s, bytes_allocated=0)
+            for op, s in seconds_by_op.items()
+        },
+    )
+
+
+class TestCheckPerfReport:
+    def test_identical_reports_pass(self):
+        mod = _load_checker()
+        rep = _report("a", {"op": 1.0})
+        regressions, rows = mod.compare(rep, rep, threshold=0.30, min_seconds=0.005)
+        assert regressions == []
+        assert len(rows) == 1
+
+    def test_regression_detected_past_threshold(self):
+        mod = _load_checker()
+        base = _report("base", {"slow": 1.0, "ok": 1.0})
+        cur = _report("cur", {"slow": 1.5, "ok": 1.1})
+        regressions, _ = mod.compare(base, cur, threshold=0.30, min_seconds=0.005)
+        assert [r[0] for r in regressions] == ["slow"]
+
+    def test_noise_floor_skips_fast_ops(self):
+        mod = _load_checker()
+        base = _report("base", {"tiny": 0.001})
+        cur = _report("cur", {"tiny": 0.004})  # 4x slower but under the floor
+        regressions, _ = mod.compare(base, cur, threshold=0.30, min_seconds=0.005)
+        assert regressions == []
+
+    def test_new_and_removed_ops_never_fail(self):
+        mod = _load_checker()
+        base = _report("base", {"gone": 1.0})
+        cur = _report("cur", {"fresh": 5.0})
+        regressions, rows = mod.compare(base, cur, threshold=0.30, min_seconds=0.005)
+        assert regressions == []
+        statuses = {row[0]: row[3] for row in rows}
+        assert statuses == {"fresh": "new", "gone": "removed"}
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        _report("cur", {"op": 2.0}).write(cur)
+        assert mod.main([str(base), str(base)]) == 0
+        assert mod.main([str(base), str(cur)]) == 1
+        assert "regressed" in capsys.readouterr().out

@@ -6,12 +6,12 @@ import pytest
 from repro.tensor import (
     Tensor,
     avg_pool2d,
+    concat,
     conv2d,
     conv_out_size,
     global_avg_pool2d,
     max_pool2d,
     pad2d,
-    concat,
 )
 from tests.conftest import finite_difference_check, rand_tensor
 
@@ -172,3 +172,55 @@ class TestPadConcat:
         a = rand_tensor(rng, (2, 3))
         b = rand_tensor(rng, (1, 3))
         finite_difference_check(lambda: (concat([a, b], axis=0) ** 2).sum(), [a, b])
+
+
+class TestWorkspaceCache:
+    def test_col2im_reuses_cached_workspace(self, rng):
+        """Repeated backward passes hit the shape-keyed workspace pool."""
+        from repro import profile
+        from repro.tensor.conv import clear_workspace_cache
+
+        clear_workspace_cache()
+        was_enabled = profile.is_enabled()
+        profile.enable()
+        try:
+            before = profile.snapshot()["counters"]
+            w = rand_tensor(rng, (2, 1, 3, 3))
+            for _ in range(4):
+                x = rand_tensor(rng, (2, 1, 6, 6))
+                conv2d(x, w, None, stride=1, pad=1).sum().backward()
+                x.grad = None
+                w.grad = None
+            after = profile.snapshot()["counters"]
+            hits = after.get("conv.workspace_hits", 0) - before.get("conv.workspace_hits", 0)
+            misses = after.get("conv.workspace_misses", 0) - before.get("conv.workspace_misses", 0)
+        finally:
+            if not was_enabled:
+                profile.disable()
+            clear_workspace_cache()
+        assert misses >= 1  # first backward allocates
+        assert hits >= 2  # later backwards reuse the freed buffer
+
+    def test_workspace_reuse_does_not_corrupt_gradients(self, rng):
+        """A gradient that outlives its backward pass must not be clobbered
+        by a later conv backward reusing the same-shape workspace."""
+        from repro import profile
+        from repro.tensor.conv import clear_workspace_cache
+
+        clear_workspace_cache()
+        was_enabled = profile.is_enabled()
+        profile.enable()
+        try:
+            w = rand_tensor(rng, (1, 1, 3, 3))
+            x1 = rand_tensor(rng, (1, 1, 5, 5))
+            conv2d(x1, w, None, stride=1, pad=1).sum().backward()
+            held = x1.grad.copy()
+            # same-shape backward while x1.grad is still alive
+            x2 = rand_tensor(rng, (1, 1, 5, 5))
+            w.grad = None
+            conv2d(x2, w, None, stride=1, pad=1).sum().backward()
+            np.testing.assert_array_equal(x1.grad, held)
+        finally:
+            if not was_enabled:
+                profile.disable()
+            clear_workspace_cache()

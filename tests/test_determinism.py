@@ -7,7 +7,6 @@ must be a conscious, versioned decision.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import DropBack
 from repro.data import DataLoader

@@ -5,9 +5,9 @@ import pytest
 
 from repro.core import DropBack, HeapSelector
 from repro.data import DataLoader
-from repro.models import mnist_100_100, mlp
+from repro.models import mlp, mnist_100_100
 from repro.nn import Linear, Sequential
-from repro.optim import ConstantLR, SGD
+from repro.optim import SGD, ConstantLR
 from repro.tensor import Tensor, cross_entropy
 from repro.train import FreezeCallback, Trainer
 

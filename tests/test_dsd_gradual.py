@@ -147,7 +147,8 @@ class TestGradualMagnitudePruning:
         assert opt.compression_ratio > 2.0
 
     @pytest.mark.parametrize(
-        "kw", [{"final_sparsity": 0.0}, {"final_sparsity": 1.0}, {"ramp_steps": 0}, {"prune_every": 0}]
+        "kw",
+        [{"final_sparsity": 0.0}, {"final_sparsity": 1.0}, {"ramp_steps": 0}, {"prune_every": 0}],
     )
     def test_validation(self, kw):
         defaults = dict(final_sparsity=0.5, ramp_steps=10, prune_every=1)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import (
-    EXPERIMENTS,
     RunConfig,
     get_experiment,
     list_experiments,

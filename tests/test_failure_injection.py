@@ -9,10 +9,9 @@ import pytest
 
 from repro.core import DropBack
 from repro.data import DataLoader, Dataset
-from repro.io import load_sparse, save_sparse, load_sparse_quantized
-from repro.models import lenet_300_100, mnist_100_100, mlp
-from repro.optim import ConstantLR, SGD
-from repro.tensor import Tensor, cross_entropy
+from repro.io import load_sparse, load_sparse_quantized, save_sparse
+from repro.models import mlp, mnist_100_100
+from repro.optim import SGD, ConstantLR
 from repro.train import Trainer, evaluate
 
 

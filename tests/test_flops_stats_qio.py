@@ -1,6 +1,5 @@
 """Tests for FLOP counting, seed statistics, and quantized checkpoints."""
 
-import math
 
 import numpy as np
 import pytest
@@ -14,7 +13,7 @@ from repro.analysis import (
 )
 from repro.core import DropBack
 from repro.data import DataLoader
-from repro.io import load_sparse_quantized, save_sparse_quantized, save_sparse
+from repro.io import load_sparse_quantized, save_sparse, save_sparse_quantized
 from repro.models import lenet5, mnist_100_100, vgg_s
 from repro.nn import Linear, Sequential
 from repro.optim import ConstantLR
@@ -125,7 +124,6 @@ class TestSeedStats:
     def test_training_across_seeds_has_modest_variance(self, tiny_mnist):
         """Integration: three seeds of DropBack 10x give consistent error."""
         train, test = tiny_mnist
-        from repro.optim import SGD
 
         def run(seed):
             m = mnist_100_100().finalize(seed)

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.init import ConstantInit, ScaledNormalInit
-from repro.nn import Linear, Module, Parameter, ReLU, Sequential
 from repro.models import mnist_100_100
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
 
 
 class TestParameter:

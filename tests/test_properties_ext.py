@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.analysis import expected_random_overlap, jaccard, nested_budget_overlap, overlap_coefficient
+from repro.analysis import (
+    expected_random_overlap,
+    jaccard,
+    nested_budget_overlap,
+    overlap_coefficient,
+)
 from repro.energy import EnergyModel
 from repro.optim.base import AccessCounter
 from repro.quant import UniformQuantizer

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.data import DataLoader
 from repro.models import mlp, mnist_100_100, wrn_10_1
-from repro.nn import BatchNorm2d, Conv2d, Linear, Sequential, ReLU, Flatten
-from repro.optim import SGD, ConstantLR
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.optim import SGD
 from repro.prune import (
     LOG_ALPHA_THRESHOLD,
     MagnitudePruning,
@@ -22,7 +21,6 @@ from repro.prune import (
     vd_sparsity,
 )
 from repro.tensor import Tensor, cross_entropy
-from repro.train import Trainer
 
 
 def _step(model, opt, in_dim=6, classes=3, seed=0, loss_fn=cross_entropy):

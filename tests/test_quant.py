@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import DropBack
 from repro.data import DataLoader
-from repro.models import mlp, mnist_100_100
+from repro.models import mnist_100_100
 from repro.optim import ConstantLR
 from repro.quant import (
     QuantizedDropBack,
@@ -15,7 +15,6 @@ from repro.quant import (
     quantization_error,
     quantize_model,
 )
-from repro.tensor import Tensor, cross_entropy
 from repro.train import Trainer, evaluate
 
 

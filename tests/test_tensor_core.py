@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, no_grad, is_grad_enabled, unbroadcast
+from repro.tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
 from tests.conftest import finite_difference_check, rand_tensor
 
 

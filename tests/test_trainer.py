@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import DataLoader, Dataset
-from repro.models import mnist_100_100, mlp
+from repro.models import mlp, mnist_100_100
 from repro.optim import SGD, ConstantLR, StepDecay
 from repro.train import (
     LambdaCallback,

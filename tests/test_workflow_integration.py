@@ -16,11 +16,11 @@ from repro.data import DataLoader
 from repro.energy import EnergyModel
 from repro.infer import RegeneratingInferenceEngine
 from repro.io import load_sparse, save_sparse
-from repro.models import mnist_100_100, lenet5_bn
+from repro.models import lenet5_bn, mnist_100_100
 from repro.optim import BoundedStepDecay
+from repro.tensor import Tensor, no_grad
 from repro.train import FreezeCallback, Trainer, evaluate
 from repro.utils.determinism import weights_digest
-from repro.tensor import Tensor, no_grad
 
 
 class TestTrainToDeployWorkflow:

@@ -6,8 +6,8 @@ import pytest
 from repro.init.xorshift import (
     REGEN_FLOAT_OPS,
     REGEN_INT_OPS,
-    Xorshift32,
     Xorshift128,
+    Xorshift32,
     normal_at,
     uniform_at,
     xorshift_at,
