@@ -3,7 +3,7 @@
 
 Usage:
     python scripts/check_perf_report.py BASELINE.json CURRENT.json \
-        [--threshold 0.30] [--min-seconds 0.005] [--top 20]
+        [--threshold 0.30] [--min-seconds 0.005] [--normalize OP] [--top 20]
 
 Loads two ``perf_*.json`` files (written by ``repro.profile.PerfReport``)
 and exits non-zero if any op's total wall time regressed by more than
@@ -19,6 +19,12 @@ the job runs::
 
 New ops (present only in the current report) and removed ops are reported
 but never fail the check — only a measured slowdown of a shared op does.
+
+``--normalize OP`` divides every op's time by OP's time *within the same
+report* before comparing.  Absolute wall times are machine-dependent, so a
+baseline committed to the repo can only be gated on ratios; normalizing by
+an op measured in the same process (e.g. ``dropback.reference_step``)
+cancels the hardware out of the comparison.
 """
 
 from __future__ import annotations
@@ -34,15 +40,35 @@ def _ensure_repo_on_path() -> None:
         sys.path.insert(0, str(src))
 
 
-def compare(baseline, current, threshold: float, min_seconds: float) -> tuple[list, list]:
+def _anchor_seconds(report, normalize: str) -> float:
+    anchor = report.ops.get(normalize)
+    if anchor is None or anchor.total_seconds <= 0:
+        raise SystemExit(
+            f"--normalize op {normalize!r} missing (or zero-time) in report {report.name!r}"
+        )
+    return anchor.total_seconds
+
+
+def compare(
+    baseline, current, threshold: float, min_seconds: float, normalize: str | None = None
+) -> tuple[list, list]:
     """Return ``(regressions, rows)`` comparing two PerfReports.
 
     ``regressions`` holds ``(name, base_s, cur_s, ratio)`` tuples for ops
     whose wall time grew past ``threshold``; ``rows`` is the full
     comparison table data for display.
+
+    With ``normalize``, each op's time is divided by the named anchor op's
+    time *within the same report* before comparing, so the gate checks
+    machine-independent ratios — the way to diff a committed baseline
+    against a report regenerated on different CI hardware.  The noise
+    floor still applies to the baseline's raw seconds, and the anchor op
+    itself (ratio identically 1) is never a regression.
     """
     regressions = []
     rows = []
+    base_scale = _anchor_seconds(baseline, normalize) if normalize else 1.0
+    cur_scale = _anchor_seconds(current, normalize) if normalize else 1.0
     names = sorted(set(baseline.ops) | set(current.ops))
     for name in names:
         base = baseline.ops.get(name)
@@ -53,10 +79,14 @@ def compare(baseline, current, threshold: float, min_seconds: float) -> tuple[li
         if cur is None:
             rows.append([name, f"{base.total_seconds:.4f}", "-", "removed"])
             continue
-        ratio = cur.total_seconds / base.total_seconds if base.total_seconds > 0 else 1.0
+        base_t = base.total_seconds / base_scale
+        cur_t = cur.total_seconds / cur_scale
+        ratio = cur_t / base_t if base_t > 0 else 1.0
         rows.append(
             [name, f"{base.total_seconds:.4f}", f"{cur.total_seconds:.4f}", f"{ratio - 1:+.0%}"]
         )
+        if name == normalize:
+            continue
         if base.total_seconds >= min_seconds and ratio > 1.0 + threshold:
             regressions.append((name, base.total_seconds, cur.total_seconds, ratio))
     return regressions, rows
@@ -71,6 +101,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="max allowed fractional slowdown per op (default 0.30)")
     parser.add_argument("--min-seconds", type=float, default=0.005,
                         help="ignore ops faster than this in the baseline (noise floor)")
+    parser.add_argument("--normalize", metavar="OP", default=None,
+                        help="divide each op's time by this op's time within the same "
+                             "report before comparing (machine-independent ratios)")
     parser.add_argument("--top", type=int, default=20, help="rows to display")
     args = parser.parse_args(argv)
 
@@ -81,10 +114,14 @@ def main(argv: list[str] | None = None) -> int:
     baseline = PerfReport.load(args.baseline)
     current = PerfReport.load(args.current)
 
-    regressions, rows = compare(baseline, current, args.threshold, args.min_seconds)
+    regressions, rows = compare(
+        baseline, current, args.threshold, args.min_seconds, normalize=args.normalize
+    )
 
     print(f"baseline: {baseline.name} ({args.baseline})")
     print(f"current:  {current.name} ({args.current})")
+    if args.normalize:
+        print(f"normalized by: {args.normalize}")
     print(format_table(["op", "base s", "current s", "delta"], rows[: args.top]))
 
     if regressions:

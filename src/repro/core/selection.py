@@ -9,12 +9,18 @@ Both are provided:
 
 * :class:`SortSelector` — exact top-k via ``numpy.argpartition`` (O(n)).
   This is the default used in training.
-* :class:`HeapSelector` — a faithful size-k min-heap scan, modelling the
-  hardware priority queue.  Selects the same set as :class:`SortSelector`
-  whenever scores are distinct (tie-breaking differs, as it would in
-  hardware); unit tests assert the equivalence.
+* :class:`HeapSelector` — the paper's streaming size-k priority queue.
+  The faithful pure-Python scan is kept as
+  :meth:`HeapSelector.select_scan`; :meth:`HeapSelector.select` computes
+  the *identical* mask (including the scan's index-order tie-breaking)
+  with a chunked ``argpartition`` prefilter plus a threshold scan, which
+  is orders of magnitude faster on real score vectors.  Unit tests assert
+  the two are equal, ties included.
 
-Selectors return a boolean mask over the flat score vector.
+Selectors return a boolean mask over the flat score vector.  Each also
+offers ``select_into(scores, k, out=...)`` which writes the mask into a
+caller-owned buffer, letting hot loops (the DropBack step) avoid a fresh
+boolean allocation per call.
 """
 
 from __future__ import annotations
@@ -27,12 +33,20 @@ import numpy as np
 __all__ = ["Selector", "SortSelector", "HeapSelector", "top_k_mask"]
 
 
-def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
-    """Boolean mask of the ``k`` largest entries of a 1-D score vector."""
+def top_k_mask(scores: np.ndarray, k: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Boolean mask of the ``k`` largest entries of a 1-D score vector.
+
+    Pass ``out`` (a bool array of the same size) to reuse a scratch buffer
+    instead of allocating; it is cleared and returned.
+    """
     n = scores.size
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    mask = np.zeros(n, dtype=bool)
+    if out is None:
+        mask = np.zeros(n, dtype=bool)
+    else:
+        mask = out
+        mask.fill(False)
     if k == 0:
         return mask
     if k >= n:
@@ -50,6 +64,11 @@ class Selector(abc.ABC):
     def select(self, scores: np.ndarray, k: int) -> np.ndarray:
         """Return a boolean mask with at most ``k`` True entries."""
 
+    def select_into(self, scores: np.ndarray, k: int, out: np.ndarray) -> np.ndarray:
+        """Like :meth:`select`, but write the mask into ``out`` and return it."""
+        out[...] = self.select(scores, k)
+        return out
+
 
 class SortSelector(Selector):
     """Exact top-k via argpartition (the listing's ``sort``/``λ`` step)."""
@@ -57,16 +76,94 @@ class SortSelector(Selector):
     def select(self, scores: np.ndarray, k: int) -> np.ndarray:
         return top_k_mask(scores, k)
 
+    def select_into(self, scores: np.ndarray, k: int, out: np.ndarray) -> np.ndarray:
+        return top_k_mask(scores, k, out=out)
+
 
 class HeapSelector(Selector):
     """Size-k min-heap scan modelling the paper's hardware priority queue.
 
     Scans scores in index order keeping the k best seen so far; an incoming
-    score strictly greater than the heap minimum evicts it.  O(n log k),
-    single pass — the access pattern a streaming accelerator would use.
+    score strictly greater than the heap minimum evicts it (smallest score
+    first, lowest index first among equal scores).  That streaming rule has
+    a closed form over the final threshold ``T`` (the kth-largest score):
+
+    * every score strictly above ``T`` survives — none can ever become the
+      heap minimum while a ``T`` remains;
+    * ties at ``T`` only ever *enter* the heap while it still holds a
+      sub-``T`` entry, which happens exactly for the ``T``-valued members
+      of the first k scores ``>= T`` in index order;
+    * each later ``> T`` arrival evicts the lowest-index resident tie, so
+      of those entered ties only the **last** ``k - #(> T)`` (by index)
+      survive.
+
+    :meth:`select` evaluates that closed form directly: a chunked
+    ``argpartition`` prefilter finds ``T`` without materializing a full
+    sort, then one vectorized threshold scan reconstructs the exact
+    surviving set.  :meth:`select_scan` is the original O(n log k)
+    pure-Python heap, retained as the semantic reference — the test suite
+    asserts both produce identical masks, ties included.
     """
 
+    def __init__(self, chunk_size: int = 1 << 16):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+
     def select(self, scores: np.ndarray, k: int) -> np.ndarray:
+        return self._select_cleared(scores, k, np.zeros(scores.size, dtype=bool))
+
+    def select_into(self, scores: np.ndarray, k: int, out: np.ndarray) -> np.ndarray:
+        out.fill(False)
+        return self._select_cleared(scores, k, out)
+
+    def _select_cleared(self, scores: np.ndarray, k: int, mask: np.ndarray) -> np.ndarray:
+        n = scores.size
+        if k <= 0:
+            return mask
+        if k >= n:
+            mask[:] = True
+            return mask
+        threshold = self._threshold(scores, k)
+        above = scores > threshold
+        n_above = int(np.count_nonzero(above))
+        mask |= above
+        need = k - n_above
+        if need > 0:
+            # Ties: T-valued members of the first k scores >= T enter the
+            # heap; later > T arrivals evict them lowest-index-first.
+            entered = np.flatnonzero(scores >= threshold)[:k]
+            ties = entered[scores[entered] == threshold]
+            mask[ties[ties.size - need :]] = True
+        return mask
+
+    def _threshold(self, scores: np.ndarray, k: int) -> float:
+        """Exact kth-largest score via a chunked argpartition prefilter.
+
+        Each chunk keeps only its own top-k candidates (the global top-k is
+        a subset of the union), then one partition of the much smaller pool
+        yields the exact threshold.
+        """
+        n = scores.size
+        step = self.chunk_size
+        if n <= step:
+            return scores[np.argpartition(scores, n - k)[n - k]]
+        keep = []
+        for lo in range(0, n, step):
+            seg = scores[lo : lo + step]
+            if seg.size <= k:
+                keep.append(seg)
+            else:
+                keep.append(np.partition(seg, seg.size - k)[seg.size - k :])
+        pool = np.concatenate(keep)
+        return pool[np.argpartition(pool, pool.size - k)[pool.size - k]]
+
+    def select_scan(self, scores: np.ndarray, k: int) -> np.ndarray:
+        """The faithful streaming scan (reference for :meth:`select`).
+
+        O(n log k), single pass in index order — the access pattern the
+        paper's streaming accelerator would use.
+        """
         n = scores.size
         mask = np.zeros(n, dtype=bool)
         if k <= 0:

@@ -113,21 +113,42 @@ def load_sparse(model: Module, path: str) -> Module:
         }
 
     model.finalize(seed)
+    _scatter_tracked(model, indices, values, zero_untracked)
+    for dotted, arr in buffers.items():
+        model._set_buffer(dotted, arr)
+    return model
+
+
+def _scatter_tracked(
+    model: Module, indices: np.ndarray, values: np.ndarray, zero_untracked: bool
+) -> None:
+    """Write tracked ``values`` at flat ``indices`` into a finalized model.
+
+    The checkpoint's flat index space is exactly the model's weight-plane
+    layout, so when every parameter is still plane-backed the whole load is
+    one vectorized scatter through the plane (the views see it instantly —
+    no per-parameter copies).  Falls back to the per-parameter
+    concatenate/scatter path if any view was detached.
+    """
     params = model.parameters()
+    total = sum(p.size for p in params)
+    if indices.size and indices.max() >= total:
+        raise ValueError("checkpoint indices exceed model parameter count")
+    plane = model.weight_plane
+    if plane is not None and plane.size == total and all(p.plane_backed for p in params):
+        if zero_untracked:
+            plane.fill(0.0)
+        plane[indices] = values
+        return
     if zero_untracked:
         for p in params:
             p.data = np.zeros_like(p.data)
     flat = np.concatenate([p.data.reshape(-1) for p in params])
-    if indices.size and indices.max() >= flat.size:
-        raise ValueError("checkpoint indices exceed model parameter count")
     flat[indices] = values
     offset = 0
     for p in params:
         p.data = flat[offset : offset + p.size].reshape(p.shape).astype(np.float32)
         offset += p.size
-    for dotted, arr in buffers.items():
-        model._set_buffer(dotted, arr)
-    return model
 
 
 def sparse_size_bytes(optimizer: DropBack) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import DropBack
+from repro.io.checkpoint import _scatter_tracked
 from repro.nn import Module
 from repro.quant import UniformQuantizer
 
@@ -71,14 +72,7 @@ def load_sparse_quantized(model: Module, path: str) -> Module:
     model.finalize(seed)
     quant = UniformQuantizer(bits=bits)
     values = quant.dequantize(q_values, scale)
-    flat = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
-    if indices.size and indices.max() >= flat.size:
-        raise ValueError("checkpoint indices exceed model parameter count")
-    flat[indices] = values
-    offset = 0
-    for p in model.parameters():
-        p.data = flat[offset : offset + p.size].reshape(p.shape).astype(np.float32)
-        offset += p.size
+    _scatter_tracked(model, indices, values, zero_untracked=False)
     for dotted, arr in buffers.items():
         model._set_buffer(dotted, arr)
     return model

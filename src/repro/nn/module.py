@@ -8,10 +8,20 @@ a flat index, any parameter element's initial value can be regenerated
 exactly — the property DropBack's untracked-weight regeneration relies on
 (paper §2.1: "each value only depends on the seed value and its index").
 
+Finalization also materializes the **flat weight plane**: one contiguous
+float32 buffer holding every parameter back to back in global-index order.
+Each ``Parameter.data`` is a zero-copy view into the plane, so whole-network
+operations (DropBack's candidate/score/commit step, sparse checkpoint
+scatter, flat analyses) run as single vectorized ops over the plane while
+layers keep reading their own shaped views.  Assigning ``p.data = arr``
+*writes through* the view (the values are copied into the plane) rather
+than detaching it, so optimizer- and checkpoint-style assignments preserve
+the aliasing invariant automatically.
+
 Typical lifecycle::
 
     model = lenet_300_100()
-    model.finalize(seed=7)        # assign indices, materialize W(0)
+    model.finalize(seed=7)        # assign indices, build plane, set W(0)
     opt = DropBack(model, k=20_000, lr=0.4)
 """
 
@@ -42,13 +52,52 @@ class Parameter(Tensor):
         PReLU parameters; the flag exists for ablations.
     """
 
-    __slots__ = ("initializer", "base_index", "prunable")
+    __slots__ = ("initializer", "base_index", "prunable", "_data", "_plane_backed")
 
     def __init__(self, shape: tuple[int, ...], initializer: Initializer, prunable: bool = True):
         super().__init__(np.zeros(shape, dtype=np.float32), requires_grad=True)
         self.initializer = initializer
         self.base_index: int | None = None
         self.prunable = bool(prunable)
+
+    # -- flat-plane aliasing ------------------------------------------- #
+    #
+    # ``data`` shadows the Tensor slot with a property so a plane-backed
+    # parameter keeps its zero-copy view alive across assignments: writing
+    # ``p.data = arr`` copies the values into the plane instead of
+    # rebinding, which is what SGD/DropBack/checkpoint-load style code
+    # does all over the tree.  An assignment that cannot broadcast into
+    # the view (a genuine reshape) falls back to detaching, matching the
+    # pre-plane replacement semantics.
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        if getattr(self, "_plane_backed", False):
+            arr = np.asarray(value)
+            view = self._data
+            if arr is view:
+                return
+            try:
+                view[...] = arr
+                return
+            except (ValueError, TypeError):
+                self._plane_backed = False
+        self._data = np.asarray(value)
+
+    @property
+    def plane_backed(self) -> bool:
+        """Whether :attr:`data` is currently a view into the weight plane."""
+        return getattr(self, "_plane_backed", False)
+
+    def _attach_plane(self, view: np.ndarray) -> None:
+        """Rebind :attr:`data` to a plane view (values are preserved)."""
+        view[...] = self._data
+        self._data = view
+        self._plane_backed = True
 
     def initialize(self, seed: int, base_index: int) -> None:
         """Assign this parameter's global index range and set W(0)."""
@@ -79,6 +128,7 @@ class Module:
     def __init__(self) -> None:
         self.training = True
         self._seed: int | None = None
+        self._plane: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # discovery
@@ -121,14 +171,28 @@ class Module:
 
         Parameters occupy consecutive index ranges in definition order, so
         the pair ``(seed, flat_index)`` identifies every weight for the
-        stateless regeneration path.  Idempotent for the same seed.
+        stateless regeneration path.  The same walk allocates the flat
+        weight plane — ``plane[p.base_index : p.base_index + p.size]``
+        *is* ``p.data`` (a reshaped zero-copy view) for every parameter.
+        Idempotent for the same seed (each call rebuilds the plane).
         """
+        params = [p for _, p in self.named_parameters()]
+        plane = np.zeros(sum(p.size for p in params), dtype=np.float32)
         offset = 0
-        for _, p in self.named_parameters():
+        for p in params:
+            p._attach_plane(plane[offset : offset + p.size].reshape(p.shape))
             p.initialize(seed, offset)
             offset += p.size
+        self._plane = plane
         self._seed = int(seed)
         return self
+
+    @property
+    def weight_plane(self) -> np.ndarray | None:
+        """The flat float32 buffer all parameters view into (None before
+        :meth:`finalize`).  Indexed by the global flat index space:
+        ``weight_plane[p.base_index + i] == p.data.reshape(-1)[i]``."""
+        return getattr(self, "_plane", None)
 
     @property
     def seed(self) -> int:

@@ -68,6 +68,16 @@ class Optimizer(abc.ABC):
         self.params: list[Parameter] = model.parameters()
         self.counter = AccessCounter()
 
+    @property
+    def weight_plane(self):
+        """The model's flat weight plane (all parameters, contiguous).
+
+        Built by ``Module.finalize``; optimizers that can express their
+        update as whole-plane vectorized ops (DropBack's flat-plane step,
+        in-place SGD) read and write it through the parameter views.
+        """
+        return self.model.weight_plane
+
     def zero_grad(self) -> None:
         for p in self.params:
             p.grad = None

@@ -48,13 +48,15 @@ class SGD(Optimizer):
             g = p.grad
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
+            # In-place updates: plane-backed parameters mutate their plane
+            # view directly (no replacement array, no write-through copy).
             if self._velocity is not None:
                 v = self._velocity[i]
                 v *= self.momentum
                 v -= self.lr * g
-                p.data = p.data + v
+                p.data += v
             else:
-                p.data = p.data - self.lr * g
+                p.data -= self.lr * g
             # Baseline traffic: read every weight (forward), write every
             # updated weight back.  The backward-pass weight reads are
             # counted by the energy model per-step from the same totals.

@@ -44,9 +44,10 @@ def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
 # col2im workspace cache
 # ---------------------------------------------------------------------- #
 #
-# The col2im scatter-add needs a zeroed padded buffer every backward call;
-# for a conv net that is one large allocation per conv layer per step.  The
-# buffers are reused via a small per-(shape, dtype) pool.  Reuse is only
+# The col2im scatter-add — and the max/avg pooling backward scatters —
+# need a zeroed buffer every backward call; for a conv net that is one
+# large allocation per layer per step.  The buffers are reused via a small
+# per-(shape, dtype) pool.  Reuse is only
 # safe once no gradient array still aliases the buffer (the returned
 # gradient is the buffer itself, or an interior view when pad > 0), so a
 # buffer is handed out again only when its CPython refcount shows no
@@ -188,7 +189,7 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     def backward(g, out=None):
         if x.requires_grad:
             with profiled("pool.max.backward"):
-                xg = np.zeros_like(x.data)
+                xg = _acquire_workspace(x.shape, x.data.dtype)
                 for win in range(kernel * kernel):
                     i, j = divmod(win, kernel)
                     mask = arg == win
@@ -219,7 +220,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     def backward(g, out=None):
         if x.requires_grad:
             with profiled("pool.avg.backward"):
-                xg = np.zeros_like(x.data)
+                xg = _acquire_workspace(x.shape, x.data.dtype)
                 gi = g * inv
                 for i in range(kernel):
                     for j in range(kernel):

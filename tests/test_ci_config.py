@@ -116,3 +116,82 @@ class TestCheckPerfReport:
         assert mod.main([str(base), str(base)]) == 0
         assert mod.main([str(base), str(cur)]) == 1
         assert "regressed" in capsys.readouterr().out
+
+
+class TestPerfGateWiring:
+    """The bench-smoke job must gate on the committed perf baseline."""
+
+    def test_baseline_stashed_before_bench_regenerates_it(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        runs = [s.get("run", "") for s in steps]
+        stash = next(i for i, r in enumerate(runs) if "perf_dropback_step.baseline.json" in r)
+        bench = next(i for i, r in enumerate(runs) if "test_perf_dropback_step_paths" in r)
+        gate = next(
+            i for i, r in enumerate(runs)
+            if "check_perf_report.py" in r and "--normalize" in r
+        )
+        assert stash < bench < gate
+
+    def test_gate_is_normalized_and_blocking(self, workflow):
+        runs = " ".join(
+            s.get("run", "") for s in workflow["jobs"]["bench-smoke"]["steps"]
+        )
+        # Ratios, not machine-dependent wall times, are what CI compares.
+        assert "--normalize dropback.reference_step" in runs
+        assert "/tmp/perf_dropback_step.baseline.json" in runs
+
+    def test_committed_baseline_exists_and_has_gated_ops(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "perf_dropback_step.json"
+        assert path.is_file(), "committed perf baseline missing"
+        report = PerfReport.load(path)
+        for op in ("dropback.step", "dropback.step.frozen", "dropback.reference_step"):
+            assert op in report.ops, op
+            assert report.ops[op].total_seconds > 0
+
+
+class TestCheckPerfReportNormalize:
+    def test_normalize_cancels_machine_speed(self):
+        mod = _load_checker()
+        base = _report("base", {"anchor": 1.0, "op": 0.5})
+        twice_as_slow = _report("cur", {"anchor": 2.0, "op": 1.0})
+        with_norm, _ = mod.compare(
+            base, twice_as_slow, threshold=0.30, min_seconds=0.005, normalize="anchor"
+        )
+        assert with_norm == []
+        without_norm, _ = mod.compare(base, twice_as_slow, threshold=0.30, min_seconds=0.005)
+        assert [r[0] for r in without_norm] == ["anchor", "op"]
+
+    def test_normalize_detects_ratio_regression(self):
+        mod = _load_checker()
+        base = _report("base", {"anchor": 1.0, "op": 0.5})
+        cur = _report("cur", {"anchor": 1.0, "op": 0.8})
+        regressions, _ = mod.compare(
+            base, cur, threshold=0.30, min_seconds=0.005, normalize="anchor"
+        )
+        assert [r[0] for r in regressions] == ["op"]
+
+    def test_anchor_itself_never_regresses(self):
+        mod = _load_checker()
+        base = _report("base", {"anchor": 1.0})
+        cur = _report("cur", {"anchor": 3.0})
+        regressions, _ = mod.compare(
+            base, cur, threshold=0.30, min_seconds=0.005, normalize="anchor"
+        )
+        assert regressions == []
+
+    def test_missing_anchor_is_fatal(self):
+        mod = _load_checker()
+        base = _report("base", {"anchor": 1.0, "op": 1.0})
+        cur = _report("cur", {"op": 1.0})
+        with pytest.raises(SystemExit):
+            mod.compare(base, cur, threshold=0.30, min_seconds=0.005, normalize="anchor")
+
+    def test_main_accepts_normalize_flag(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"anchor": 1.0, "op": 0.5}).write(base)
+        _report("cur", {"anchor": 4.0, "op": 2.0}).write(cur)
+        assert mod.main([str(base), str(cur), "--normalize", "anchor"]) == 0
+        assert "normalized by: anchor" in capsys.readouterr().out
+        assert mod.main([str(base), str(cur)]) == 1

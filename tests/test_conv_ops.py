@@ -224,3 +224,65 @@ class TestWorkspaceCache:
             if not was_enabled:
                 profile.disable()
             clear_workspace_cache()
+
+
+class TestPoolWorkspace:
+    """max/avg pooling backward buffers come from the conv workspace pool."""
+
+    @pytest.mark.parametrize("pool_fn", [max_pool2d, avg_pool2d])
+    def test_pool_backward_reuses_cached_workspace(self, rng, pool_fn):
+        from repro import profile
+        from repro.tensor.conv import clear_workspace_cache
+
+        clear_workspace_cache()
+        was_enabled = profile.is_enabled()
+        profile.enable()
+        try:
+            before = profile.snapshot()["counters"]
+            for _ in range(4):
+                x = rand_tensor(rng, (2, 3, 8, 8))
+                pool_fn(x, 2).sum().backward()
+                x.grad = None  # release the buffer back to the pool
+            after = profile.snapshot()["counters"]
+            hits = after.get("conv.workspace_hits", 0) - before.get("conv.workspace_hits", 0)
+            misses = after.get("conv.workspace_misses", 0) - before.get(
+                "conv.workspace_misses", 0
+            )
+        finally:
+            if not was_enabled:
+                profile.disable()
+            clear_workspace_cache()
+        assert misses >= 1  # first backward allocates
+        assert hits >= 2  # later backwards reuse the freed buffer
+
+    @pytest.mark.parametrize("pool_fn", [max_pool2d, avg_pool2d])
+    def test_pool_workspace_aliasing_safety(self, rng, pool_fn):
+        """A pooling gradient that outlives its backward pass must not be
+        clobbered by a later same-shape backward (refcount guard)."""
+        from repro.tensor.conv import clear_workspace_cache
+
+        clear_workspace_cache()
+        try:
+            x1 = rand_tensor(rng, (1, 2, 6, 6))
+            pool_fn(x1, 2).sum().backward()
+            held = x1.grad.copy()
+            x2 = rand_tensor(rng, (1, 2, 6, 6))
+            pool_fn(x2, 2).sum().backward()
+            np.testing.assert_array_equal(x1.grad, held)
+        finally:
+            clear_workspace_cache()
+
+    @pytest.mark.parametrize("pool_fn", [max_pool2d, avg_pool2d])
+    def test_pool_gradients_unchanged_by_pooling_buffers(self, rng, pool_fn):
+        """Workspace reuse must be value-transparent vs a cold cache."""
+        from repro.tensor.conv import clear_workspace_cache
+
+        grads = []
+        for _ in range(2):
+            clear_workspace_cache()
+            x = Tensor(
+                np.random.default_rng(7).normal(size=(2, 2, 6, 6)), requires_grad=True
+            )
+            pool_fn(x, 2).sum().backward()
+            grads.append(x.grad.copy())
+        np.testing.assert_array_equal(grads[0], grads[1])

@@ -1,0 +1,124 @@
+"""Bit-for-bit equivalence of the flat-plane step vs. the reference step.
+
+The vectorized flat-plane implementation (``DropBack.step``) must be
+indistinguishable — exact float equality, identical tracked sets, identical
+churn history — from the retained per-parameter dense implementation
+(``DropBack.reference_step``) on every ablation combination the paper
+exercises: selection criterion × ``zero_untracked`` ×
+``strict_regeneration``, through freeze and unfreeze transitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack, HeapSelector
+from repro.models import mlp
+from repro.nn import Linear, Sequential
+from repro.tensor import Tensor, cross_entropy
+
+CRITERIA = ("accumulated", "magnitude", "current")
+
+
+def _backward(model, step_seed, in_dim=6, classes=3):
+    rng = np.random.default_rng(step_seed)
+    x = Tensor(rng.normal(size=(16, in_dim)).astype(np.float32))
+    y = rng.integers(0, classes, size=16)
+    model.zero_grad()
+    cross_entropy(model(x), y).backward()
+
+
+def _run(
+    use_reference,
+    n_steps=6,
+    freeze_at=3,
+    unfreeze_at=5,
+    k=9,
+    model_fn=None,
+    **kwargs,
+):
+    model = (model_fn or (lambda: mlp(6, (8,), 3)))().finalize(11)
+    opt = DropBack(model, k=k, lr=0.3, **kwargs)
+    for s in range(n_steps):
+        _backward(model, s)
+        if freeze_at is not None and s == freeze_at:
+            opt.freeze()
+        if unfreeze_at is not None and s == unfreeze_at:
+            opt.unfreeze()
+        (opt.reference_step if use_reference else opt.step)()
+    return model, opt
+
+
+def _assert_identical(pair_a, pair_b):
+    (m1, o1), (m2, o2) = pair_a, pair_b
+    for (name, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+        np.testing.assert_array_equal(p1.data, p2.data, err_msg=name)
+    assert o1.swap_history == o2.swap_history
+    assert o1.total_swaps == o2.total_swaps
+    if o1.tracked_mask is not None or o2.tracked_mask is not None:
+        np.testing.assert_array_equal(o1.tracked_mask, o2.tracked_mask)
+
+
+class TestAblationGrid:
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    @pytest.mark.parametrize("zero_untracked", [False, True])
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_bit_identical_across_freeze_unfreeze(self, criterion, zero_untracked, strict):
+        kwargs = dict(
+            criterion=criterion,
+            zero_untracked=zero_untracked,
+            strict_regeneration=strict,
+        )
+        _assert_identical(_run(False, **kwargs), _run(True, **kwargs))
+
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    def test_bit_identical_never_frozen(self, criterion):
+        kwargs = dict(criterion=criterion, freeze_at=None, unfreeze_at=None)
+        _assert_identical(_run(False, **kwargs), _run(True, **kwargs))
+
+
+class TestStateInterchangeability:
+    def test_alternating_paths_matches_pure_step(self):
+        """Both paths share mask/churn state, so they can be interleaved
+        within one run without changing the trajectory."""
+        m1 = mlp(6, (8,), 3).finalize(11)
+        m2 = mlp(6, (8,), 3).finalize(11)
+        o1 = DropBack(m1, k=9, lr=0.3)
+        o2 = DropBack(m2, k=9, lr=0.3)
+        for s in range(6):
+            _backward(m1, s)
+            _backward(m2, s)
+            if s == 3:
+                o1.freeze()
+                o2.freeze()
+            o1.step()
+            (o2.step if s % 2 == 0 else o2.reference_step)()
+        _assert_identical((m1, o1), (m2, o2))
+
+
+class TestEdgeConfigurations:
+    def test_k_at_least_total(self):
+        total = mlp(6, (8,), 3).finalize(0).num_parameters()
+        _assert_identical(_run(False, k=total), _run(True, k=total))
+        _assert_identical(_run(False, k=total * 2), _run(True, k=total * 2))
+
+    def test_heap_selector(self):
+        _assert_identical(
+            _run(False, selector=HeapSelector()),
+            _run(True, selector=HeapSelector()),
+        )
+
+    def test_exclude_nonprunable(self):
+        def model_fn():
+            m = Sequential(Linear(6, 8), Linear(8, 3))
+            m[1].weight.prunable = False
+            m[1].bias.prunable = False
+            return m
+
+        kwargs = dict(model_fn=model_fn, k=5, include_nonprunable=False)
+        _assert_identical(_run(False, **kwargs), _run(True, **kwargs))
+
+    def test_history_limit_applies_to_both_paths(self):
+        kwargs = dict(history_limit=2, freeze_at=None, unfreeze_at=None)
+        (m1, o1), (m2, o2) = _run(False, **kwargs), _run(True, **kwargs)
+        assert len(o1.swap_history) == 2
+        _assert_identical((m1, o1), (m2, o2))

@@ -69,3 +69,74 @@ class TestSelectors:
         scores = rng.normal(size=100)
         assert SortSelector().select(scores, 17).sum() == 17
         assert HeapSelector().select(scores, 17).sum() == 17
+
+
+class TestHeapFastPath:
+    """HeapSelector.select (argpartition + threshold scan) must reproduce
+    the streaming scan exactly, index-order tie-breaking included."""
+
+    def test_matches_scan_on_crafted_ties(self):
+        sel = HeapSelector()
+        cases = [
+            (np.array([1.0, 2.0, 2.0, 2.0, 0.5, 2.0, 3.0]), 3),
+            (np.zeros(10), 4),  # all tied
+            (np.array([5.0, 1.0, 1.0, 1.0, 1.0, 5.0]), 4),
+            (np.array([1.0, 1.0, 1.0]), 2),
+        ]
+        for scores, k in cases:
+            np.testing.assert_array_equal(
+                sel.select(scores, k), sel.select_scan(scores, k), err_msg=f"k={k}"
+            )
+
+    @pytest.mark.parametrize("chunk_size", [7, 64, 1 << 16])
+    def test_matches_scan_fuzzed(self, chunk_size):
+        sel = HeapSelector(chunk_size=chunk_size)
+        rng = np.random.default_rng(4)
+        for trial in range(40):
+            n = int(rng.integers(1, 300))
+            k = int(rng.integers(1, n + 1))
+            if trial % 2:
+                scores = rng.integers(0, 5, size=n).astype(float)  # heavy ties
+            else:
+                scores = rng.normal(size=n)
+            np.testing.assert_array_equal(
+                sel.select(scores, k),
+                sel.select_scan(scores, k),
+                err_msg=f"n={n} k={k} chunk={chunk_size}",
+            )
+
+    def test_chunked_threshold_exact(self):
+        rng = np.random.default_rng(5)
+        scores = rng.normal(size=1000)
+        chunked = HeapSelector(chunk_size=100)
+        np.testing.assert_array_equal(
+            chunked.select(scores, 123), HeapSelector().select(scores, 123)
+        )
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            HeapSelector(chunk_size=0)
+
+
+class TestSelectInto:
+    @pytest.mark.parametrize("selector_cls", [SortSelector, HeapSelector])
+    def test_writes_into_buffer(self, selector_cls):
+        sel = selector_cls()
+        rng = np.random.default_rng(6)
+        scores = rng.normal(size=64)
+        out = np.ones(64, dtype=bool)  # stale contents must be cleared
+        result = sel.select_into(scores, 10, out)
+        assert result is out
+        np.testing.assert_array_equal(out, sel.select(scores, 10))
+
+    def test_top_k_mask_out(self):
+        scores = np.array([0.1, 5.0, 0.3, 4.0, 0.2])
+        out = np.ones(5, dtype=bool)
+        result = top_k_mask(scores, 2, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, [False, True, False, True, False])
+
+    def test_top_k_mask_out_edge_k(self):
+        out = np.zeros(5, dtype=bool)
+        assert top_k_mask(np.arange(5.0), 7, out=out).all()
+        assert not top_k_mask(np.arange(5.0), 0, out=out).any()
