@@ -20,6 +20,12 @@ the job runs::
 New ops (present only in the current report) and removed ops are reported
 but never fail the check — only a measured slowdown of a shared op does.
 
+Reports produced under the runtime sanitizers (``meta.sanitize: true``,
+stamped by the ProfilerCallback when ``REPRO_SANITIZE=1`` / ``--sanitize``
+is active) carry checker overhead in every op and are **excluded from the
+gate**: the script prints a notice and exits 0.  Pass ``--allow-sanitized``
+to gate on such a report anyway (e.g. sanitized-vs-sanitized comparisons).
+
 ``--normalize OP`` divides every op's time by OP's time *within the same
 report* before comparing.  Absolute wall times are machine-dependent, so a
 baseline committed to the repo can only be gated on ratios; normalizing by
@@ -105,6 +111,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="divide each op's time by this op's time within the same "
                              "report before comparing (machine-independent ratios)")
     parser.add_argument("--top", type=int, default=20, help="rows to display")
+    parser.add_argument("--allow-sanitized", action="store_true",
+                        help="gate even if a report was produced under REPRO_SANITIZE "
+                             "(default: sanitized runs are excluded from the perf gate)")
     args = parser.parse_args(argv)
 
     _ensure_repo_on_path()
@@ -113,6 +122,18 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = PerfReport.load(args.baseline)
     current = PerfReport.load(args.current)
+
+    if not args.allow_sanitized:
+        sanitized = [
+            rep.name for rep in (baseline, current) if rep.meta.get("sanitize")
+        ]
+        if sanitized:
+            print(
+                "SKIP: report(s) produced under runtime sanitizers "
+                f"({', '.join(sanitized)}); sanitizer overhead is not a perf "
+                "regression. Use --allow-sanitized to gate anyway."
+            )
+            return 0
 
     regressions, rows = compare(
         baseline, current, args.threshold, args.min_seconds, normalize=args.normalize

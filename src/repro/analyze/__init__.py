@@ -1,0 +1,56 @@
+"""Static analysis + runtime sanitizers for the repo's core invariants.
+
+Two complementary halves:
+
+* :mod:`repro.analyze.engine` / :mod:`repro.analyze.rules` — an AST lint
+  pass (``repro analyze`` on the CLI) with repo-specific rules RPA001-005
+  guarding the flat-weight-plane aliasing, workspace-pool discipline, and
+  bit-deterministic regeneration that the DropBack implementation depends
+  on.  Violations diff against a committed baseline so CI fails only on
+  *new* ones.
+* :mod:`repro.analyze.sanitize` — runtime sanitizers (plane-integrity
+  checker, workspace-pool poisoner, NaN/inf gradient tripwire) switched
+  on via ``REPRO_SANITIZE=1`` or ``Trainer(..., sanitize=True)``.
+
+See ``docs/static-analysis.md`` for the rule catalog and workflows.
+"""
+
+from repro.analyze.engine import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    LintEngine,
+    RULE_REGISTRY,
+    Violation,
+    diff_baseline,
+    findings_to_dict,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze import rules  # noqa: F401 - imported to populate RULE_REGISTRY
+from repro.analyze.sanitize import (
+    GradientTripwireError,
+    PlaneIntegrityError,
+    SanitizerError,
+    check_plane_integrity,
+    sanitize_enabled,
+    sanitizer_callbacks,
+)
+
+__all__ = [
+    "LintEngine",
+    "Violation",
+    "Baseline",
+    "RULE_REGISTRY",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "diff_baseline",
+    "findings_to_dict",
+    "rules",
+    "SanitizerError",
+    "PlaneIntegrityError",
+    "GradientTripwireError",
+    "check_plane_integrity",
+    "sanitize_enabled",
+    "sanitizer_callbacks",
+]

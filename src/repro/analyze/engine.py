@@ -1,0 +1,418 @@
+"""AST lint engine enforcing the repo's plane/pool/determinism invariants.
+
+The flat-weight-plane refactor made several correctness properties
+*invisible* to black-box tests: every ``Parameter.data`` must stay a
+zero-copy view into the plane, hot-path functions must not allocate per
+call, and DropBack's untracked-weight regeneration must stay
+bit-deterministic (no stray global RNG, no silent float64 promotion).
+This module provides the machinery that checks those properties at lint
+time; the rules themselves live in :mod:`repro.analyze.rules`.
+
+Architecture
+------------
+
+* :class:`Rule` — an ``ast.NodeVisitor`` with a registered ``code``
+  (``RPA###``), scope tracking, and suppression-aware reporting.
+* :class:`SourceFile` — one parsed file plus its ``# repro: noqa[...]``
+  suppression table.
+* :class:`LintEngine` — walks paths, runs every (selected) rule over
+  every file, returns :class:`Violation` records.
+* Baseline — a committed JSON file of *accepted* violation fingerprints.
+  Fingerprints are ``code:path:scope`` (line-number free, so they survive
+  unrelated edits); the engine fails only on violations beyond the
+  baselined count for their fingerprint.
+
+Suppression syntax::
+
+    xg = np.empty(shape)  # repro: noqa[RPA002] forward output buffer
+
+A bare ``# repro: noqa`` suppresses every rule on that line; the
+bracketed form suppresses only the listed codes (comma separated).
+Anything after the closing bracket is a free-form justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "SourceFile",
+    "LintEngine",
+    "RULE_REGISTRY",
+    "register_rule",
+    "load_baseline",
+    "write_baseline",
+    "diff_baseline",
+    "findings_to_dict",
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_NAME",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+DEFAULT_BASELINE_NAME = "analyze_baseline.json"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+#: All registered rule classes keyed by code (populated via ``register_rule``).
+RULE_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register_rule(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY` by code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    code: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    scope: str  # dotted enclosing def/class chain, or "<module>"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline (stable across
+        unrelated edits to the same file)."""
+        return f"{self.code}:{self.path}:{self.scope}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "scope": self.scope,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class SourceFile:
+    """A parsed source file with its per-line suppression table."""
+
+    def __init__(self, path: Path, relpath: str, text: str):
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        # line -> set of suppressed codes; empty set means "all codes".
+        # A noqa on a comment-only line applies to the next code line, so
+        # justifications too long for an inline comment can sit above.
+        self.suppressions: dict[int, set[str]] = {}
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            m = _NOQA_RE.search(line)
+            if not m:
+                continue
+            codes = m.group("codes")
+            parsed = (
+                set()
+                if codes is None
+                else {c.strip().upper() for c in codes.split(",") if c.strip()}
+            )
+            target = lineno
+            if line.lstrip().startswith("#"):
+                for nxt in range(lineno, len(lines)):
+                    stripped = lines[nxt].strip()
+                    if stripped and not stripped.startswith("#"):
+                        target = nxt + 1
+                        break
+            existing = self.suppressions.get(target)
+            if existing is None:
+                self.suppressions[target] = parsed
+            elif existing and parsed:
+                existing.update(parsed)
+            else:  # either side is "all codes"
+                self.suppressions[target] = set()
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return not codes or code in codes
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``summary``/``rationale`` and override the
+    ``visit_*`` methods they need.  Scope (enclosing class/function chain)
+    is tracked automatically; subclasses that care about function entry
+    override :meth:`scope_entered` / :meth:`scope_exited` rather than
+    ``visit_FunctionDef`` so the bookkeeping stays in one place.
+    """
+
+    code: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def __init__(self, src: SourceFile):
+        self.src = src
+        self.violations: list[Violation] = []
+        self._scope: list[str] = []
+
+    # -- scope tracking ------------------------------------------------ #
+
+    def _visit_scoped(self, node) -> None:
+        self._scope.append(node.name)
+        self.scope_entered(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.scope_exited(node)
+            self._scope.pop()
+
+    visit_FunctionDef = _visit_scoped
+    visit_AsyncFunctionDef = _visit_scoped
+    visit_ClassDef = _visit_scoped
+
+    def scope_entered(self, node) -> None:  # pragma: no cover - hook
+        pass
+
+    def scope_exited(self, node) -> None:  # pragma: no cover - hook
+        pass
+
+    @property
+    def scope(self) -> str:
+        return ".".join(self._scope) if self._scope else "<module>"
+
+    # -- reporting ----------------------------------------------------- #
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self.src.is_suppressed(self.code, line):
+            return
+        self.violations.append(
+            Violation(
+                code=self.code,
+                path=self.src.relpath,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                scope=self.scope,
+            )
+        )
+
+    def run(self) -> list[Violation]:
+        self.visit(self.src.tree)
+        return self.violations
+
+
+# ---------------------------------------------------------------------- #
+# shared AST helpers (used by several rules)
+# ---------------------------------------------------------------------- #
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_keywords(node: ast.Call) -> set[str]:
+    return {kw.arg for kw in node.keywords if kw.arg is not None}
+
+
+def contains_float_constant(node: ast.AST) -> bool:
+    """Whether any literal in the subtree is a Python float."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# engine
+# ---------------------------------------------------------------------- #
+
+
+class LintEngine:
+    """Run a set of rules over files/directories.
+
+    Parameters
+    ----------
+    select:
+        Rule codes to run (default: every registered rule).
+    root:
+        Directory violation paths are reported relative to (default: the
+        common parent inferred per-path; pass the repo root for stable
+        baseline fingerprints).
+    """
+
+    def __init__(self, select: Iterable[str] | None = None, root: Path | str | None = None):
+        codes = list(select) if select is not None else sorted(RULE_REGISTRY)
+        unknown = [c for c in codes if c not in RULE_REGISTRY]
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+        self.rule_classes = [RULE_REGISTRY[c] for c in codes]
+        self.root = Path(root).resolve() if root is not None else None
+        self.errors: list[str] = []
+
+    def _relpath(self, path: Path) -> str:
+        path = path.resolve()
+        if self.root is not None:
+            try:
+                return path.relative_to(self.root).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    @staticmethod
+    def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+        for p in paths:
+            p = Path(p)
+            if p.is_dir():
+                yield from sorted(p.rglob("*.py"))
+            elif p.suffix == ".py":
+                yield p
+
+    def lint_file(self, path: Path | str) -> list[Violation]:
+        path = Path(path)
+        text = path.read_text()
+        try:
+            src = SourceFile(path, self._relpath(path), text)
+        except SyntaxError as exc:  # unparseable file is itself a finding
+            self.errors.append(f"{self._relpath(path)}: syntax error: {exc}")
+            return []
+        out: list[Violation] = []
+        for cls in self.rule_classes:
+            out.extend(cls(src).run())
+        return out
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in self.iter_python_files(paths):
+            violations.extend(self.lint_file(path))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return violations
+
+
+# ---------------------------------------------------------------------- #
+# baseline workflow
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class Baseline:
+    """Accepted violation fingerprints with per-fingerprint counts."""
+
+    entries: Counter = field(default_factory=Counter)
+    path: Path | None = None
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema {data.get('schema_version')!r} in {path}"
+        )
+    entries = Counter({str(k): int(v) for k, v in data.get("entries", {}).items()})
+    return Baseline(entries=entries, path=path)
+
+
+def write_baseline(violations: Iterable[Violation], path: Path | str) -> Path:
+    """Write the violations' fingerprints as the new accepted baseline."""
+    entries = Counter(v.fingerprint for v in violations)
+    doc = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "comment": (
+            "Accepted repro-analyze violations. Regenerate with "
+            "`repro analyze <paths> --update-baseline`; new code must not "
+            "add entries."
+        ),
+        "entries": {k: entries[k] for k in sorted(entries)},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def diff_baseline(
+    violations: list[Violation], baseline: Baseline
+) -> tuple[list[Violation], Counter]:
+    """Split findings into (new violations, fixed baseline entries).
+
+    For each fingerprint, up to the baselined count of occurrences is
+    accepted; any excess is new.  Baseline entries with fewer current
+    occurrences than recorded are reported as fixed (candidates for
+    ``--update-baseline``).
+    """
+    seen = Counter(v.fingerprint for v in violations)
+    budget = Counter(baseline.entries)
+    new: list[Violation] = []
+    for v in violations:
+        if budget[v.fingerprint] > 0:
+            budget[v.fingerprint] -= 1
+        else:
+            new.append(v)
+    fixed = Counter(
+        {
+            fp: count - seen.get(fp, 0)
+            for fp, count in baseline.entries.items()
+            if seen.get(fp, 0) < count
+        }
+    )
+    return new, fixed
+
+
+def findings_to_dict(
+    violations: list[Violation],
+    new: list[Violation],
+    baseline: Baseline | None,
+    paths: list[str],
+    errors: list[str] | None = None,
+) -> dict:
+    """JSON-ready findings document (the CI artifact format)."""
+    from repro.analyze import rules as _rules  # late: registry must be populated
+
+    del _rules
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "tool": "repro.analyze",
+        "paths": list(paths),
+        "rules": {
+            code: {"summary": cls.summary, "rationale": cls.rationale}
+            for code, cls in sorted(RULE_REGISTRY.items())
+        },
+        "summary": {
+            "total": len(violations),
+            "new": len(new),
+            "baselined": len(violations) - len(new),
+            "baseline_path": str(baseline.path) if baseline and baseline.path else None,
+            "errors": len(errors or []),
+        },
+        "violations": [v.to_dict() for v in violations],
+        "new": [v.to_dict() for v in new],
+        "errors": list(errors or []),
+    }

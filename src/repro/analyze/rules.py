@@ -1,0 +1,312 @@
+"""Repo-specific lint rules (RPA001-RPA005).
+
+Each rule encodes one invariant the flat-weight-plane / workspace-pool /
+deterministic-regeneration design depends on.  See
+``docs/static-analysis.md`` for the full catalog with rationale and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.engine import (
+    Rule,
+    call_keywords,
+    contains_float_constant,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "DataRebindRule",
+    "HotPathAllocationRule",
+    "UnseededRandomRule",
+    "ImplicitFloat64Rule",
+    "MissingProfiledRule",
+    "HOT_MODULES",
+    "ALLOC_CALLS",
+]
+
+#: Modules whose public functions are hot-path ops and must be profiled.
+HOT_MODULES = (
+    "tensor/conv.py",
+    "tensor/functional.py",
+    "core/selection.py",
+)
+
+#: numpy free functions that allocate a fresh buffer per call.
+ALLOC_CALLS = frozenset(
+    {"zeros", "empty", "ones", "full", "copy", "zeros_like", "empty_like", "ones_like"}
+)
+
+#: np.random attributes that hit numpy's *global* RNG state (legacy API).
+_GLOBAL_RNG_FNS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+        "choice", "shuffle", "permutation", "seed", "normal", "uniform", "standard_normal",
+        "binomial", "poisson", "beta", "gamma", "exponential", "laplace", "bytes",
+    }
+)
+
+
+def _ends_with(path: str, suffixes: tuple[str, ...] | str) -> bool:
+    if isinstance(suffixes, str):
+        suffixes = (suffixes,)
+    return any(path.endswith(s) for s in suffixes)
+
+
+@register_rule
+class DataRebindRule(Rule):
+    """RPA001: ``.data`` rebinding outside the Parameter/Tensor core.
+
+    ``Parameter.data`` is a zero-copy view into the flat weight plane.
+    Rebinding the attribute (``p.data = arr``) relies on the write-through
+    property to keep the aliasing alive, and silently *detaches* the view
+    when the value cannot broadcast.  Mutate in place instead
+    (``p.data[...] = arr`` or ``np.copyto(p.data, arr)``) so plane
+    aliasing is preserved by construction.
+    """
+
+    code = "RPA001"
+    summary = ".data rebinding can detach a parameter from the weight plane"
+    rationale = (
+        "Every Parameter.data must stay a zero-copy view into the flat "
+        "weight plane; attribute rebinding goes through a fallback that "
+        "detaches on shape mismatch. In-place writes cannot detach."
+    )
+
+    #: The property implementation itself plus the raw Tensor slot.
+    allowed_paths = ("nn/module.py", "tensor/tensor.py")
+
+    # AugAssign (`p.data += v`) is exempt: ndarray.__iadd__ mutates the
+    # view in place and the write-through setter sees the identical array.
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not _ends_with(self.src.relpath, self.allowed_paths):
+            for target in node.targets:
+                self._check_target(target)
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt)
+        elif isinstance(target, ast.Attribute) and target.attr == "data":
+            owner = dotted_name(target.value) or "<expr>"
+            self.report(
+                target,
+                f"rebinding `{owner}.data` — write in place "
+                f"(`{owner}.data[...] = ...`) to preserve plane aliasing",
+            )
+
+
+@register_rule
+class HotPathAllocationRule(Rule):
+    """RPA002: fresh allocations inside ``@profiled`` hot-path functions.
+
+    Functions instrumented with ``@profiled`` are the per-step hot paths;
+    a ``np.zeros``/``np.empty``/``.copy()``/``.astype()`` there is one
+    allocation per training step per layer.  Use the conv workspace pool,
+    a preallocated scratch buffer, or an ``out=`` argument — or suppress
+    with a justification when the allocation is the op's output.
+    """
+
+    code = "RPA002"
+    summary = "per-call allocation inside a @profiled hot-path function"
+    rationale = (
+        "Hot paths run once per layer per step; per-call allocations "
+        "defeat the workspace pool and show up as GC churn. Reuse "
+        "buffers (out=, _acquire_workspace) or justify with a noqa."
+    )
+
+    def __init__(self, src):
+        super().__init__(src)
+        self._profiled_depth = 0
+
+    @staticmethod
+    def _is_profiled_decorator(dec: ast.AST) -> bool:
+        if isinstance(dec, ast.Call):
+            dec = dec.func
+        name = dotted_name(dec)
+        return name is not None and name.split(".")[-1] == "profiled"
+
+    def scope_entered(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            self._is_profiled_decorator(d) for d in node.decorator_list
+        ):
+            self._profiled_depth += 1
+            node._rpa002_profiled = True  # noqa: SLF001 - private tag on our own AST
+
+    def scope_exited(self, node) -> None:
+        if getattr(node, "_rpa002_profiled", False):
+            self._profiled_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._profiled_depth > 0:
+            name = dotted_name(node.func)
+            if name is not None and "." in name:
+                head, _, tail = name.rpartition(".")
+                if head in ("np", "numpy") and tail in ALLOC_CALLS:
+                    self.report(node, f"`{name}(...)` allocates per call in a hot path")
+                elif tail == "astype":
+                    self.report(node, "`.astype(...)` allocates per call in a hot path")
+                elif tail == "copy" and not node.args and not node.keywords:
+                    self.report(node, "`.copy()` allocates per call in a hot path")
+        self.generic_visit(node)
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """RPA003: unseeded or global-state ``np.random`` use outside ``data/``.
+
+    DropBack's untracked weights are *recomputed*, not stored: training
+    must be a pure function of the experiment seeds.  The legacy
+    ``np.random.*`` API draws from interpreter-global state, and
+    ``default_rng()`` with no seed draws from the OS — either silently
+    breaks the ``|w_t - w_0|`` regeneration criterion.  Construct a
+    seeded ``np.random.default_rng(seed)`` and inject it.
+    """
+
+    code = "RPA003"
+    summary = "unseeded / global-state np.random use breaks determinism"
+    rationale = (
+        "Untracked weights are regenerated from (seed, index); any "
+        "global-RNG draw or OS-seeded generator in the training path "
+        "makes runs irreproducible and the regeneration criterion drift."
+    )
+
+    #: Dataset synthesis owns its generators (they are seeded at the API
+    #: boundary and tested for determinism).
+    exempt_dirs = ("data/",)
+
+    def _exempt(self) -> bool:
+        return any(d in self.src.relpath for d in self.exempt_dirs)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._exempt():
+            name = dotted_name(node.func)
+            if name is not None:
+                parts = name.split(".")
+                if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                    fn = parts[-1]
+                    if fn in _GLOBAL_RNG_FNS:
+                        self.report(
+                            node,
+                            f"`{name}(...)` uses numpy's global RNG state; "
+                            "inject a seeded np.random.default_rng instead",
+                        )
+                    elif fn in ("default_rng", "RandomState", "Generator") and self._unseeded(
+                        node
+                    ):
+                        self.report(
+                            node,
+                            f"`{name}()` without a seed draws OS entropy; "
+                            "pass an explicit seed",
+                        )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        first = node.args[0] if node.args else None
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+@register_rule
+class ImplicitFloat64Rule(Rule):
+    """RPA004: implicit float64 promotion near the tensor boundary.
+
+    The plane, parameters, and all tensor ops are float32.  A dtype-less
+    ``np.array([0.5, ...])`` is float64; once it flows into a tensor op
+    the write-through plane view silently *truncates* on store while any
+    intermediate arithmetic upcasts — so regenerated and stored weights
+    stop agreeing bitwise.  Spell the dtype (float32 at the model
+    boundary; float64 only where numerically required, explicitly).
+    """
+
+    code = "RPA004"
+    summary = "dtype-less float array literal promotes to float64"
+    rationale = (
+        "All training numerics are float32; implicit float64 "
+        "intermediates break bit-determinism of the regeneration "
+        "criterion and double memory traffic. Make the dtype explicit."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            head, _, tail = name.rpartition(".")
+            if (
+                head in ("np", "numpy")
+                and tail in ("array", "asarray")
+                and "dtype" not in call_keywords(node)
+                and len(node.args) < 2  # second positional arg is dtype
+                and node.args
+                and contains_float_constant(node.args[0])
+            ):
+                self.report(
+                    node,
+                    f"`{name}(...)` with float literals and no dtype is float64; "
+                    "pass dtype=np.float32 (or an explicit np.float64 if intended)",
+                )
+            elif tail == "astype" and node.args and not self._explicit_dtype(node.args[0]):
+                self.report(
+                    node,
+                    "`.astype(float)` is float64 in disguise; "
+                    "name the width explicitly (np.float32 / np.float64)",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _explicit_dtype(arg: ast.AST) -> bool:
+        """True unless the dtype argument is the bare builtin ``float``."""
+        return not (isinstance(arg, ast.Name) and arg.id == "float")
+
+
+@register_rule
+class MissingProfiledRule(Rule):
+    """RPA005: public hot-module functions missing ``@profiled``.
+
+    The perf CI gate can only guard what the profiler sees.  Public
+    module-level functions in the hot modules (conv, functional,
+    selection) must either carry ``@profiled("...")`` or open a
+    ``with profiled("...")`` region, so new ops never ship unmeasured.
+    """
+
+    code = "RPA005"
+    summary = "public hot-module function is invisible to the profiler"
+    rationale = (
+        "The CI perf gate diffs profiler reports; an uninstrumented hot "
+        "op can regress without tripping it. Decorate public functions "
+        "in hot modules with @profiled (or open a profiled region)."
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if (
+            _ends_with(self.src.relpath, HOT_MODULES)
+            and not self._scope  # module-level only; methods are exempt
+            and not node.name.startswith("_")
+            and not self._instrumented(node)
+        ):
+            self.report(
+                node,
+                f"public function `{node.name}` in a hot module has no "
+                "@profiled decorator or profiled region",
+            )
+        self._visit_scoped(node)
+
+    @staticmethod
+    def _instrumented(node: ast.FunctionDef) -> bool:
+        for dec in node.decorator_list:
+            if HotPathAllocationRule._is_profiled_decorator(dec):
+                return True
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    ctx = item.context_expr
+                    if isinstance(ctx, ast.Call) and HotPathAllocationRule._is_profiled_decorator(
+                        ctx
+                    ):
+                        return True
+        return False

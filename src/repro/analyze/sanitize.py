@@ -1,0 +1,256 @@
+"""Runtime sanitizers for the plane/pool/determinism invariants.
+
+What the lint pass (:mod:`repro.analyze.rules`) cannot prove statically is
+checked here at runtime, behind an opt-in switch so the hot path stays
+untouched in normal runs:
+
+* **Plane integrity** — every :class:`~repro.nn.Parameter` must remain a
+  zero-copy view into its module's flat weight plane.
+  :func:`check_plane_integrity` verifies aliasing (exact base-pointer
+  offset), dtype, and a write round-trip for every parameter, and a
+  detach guard hooks the ``Parameter.data`` fallback so a silent detach
+  raises instead.
+* **Workspace-pool poisoning** — released conv/pool backward buffers are
+  NaN-filled between steps (:func:`repro.tensor.conv.poison_free_workspaces`),
+  turning any use-after-release into either a loud
+  :class:`~repro.tensor.conv.WorkspaceUseAfterReleaseError` (stale
+  writer) or a NaN that the gradient tripwire catches (stale reader).
+* **NaN/inf gradient tripwire** — after every backward pass each
+  parameter gradient is scanned; the first non-finite value aborts with
+  the parameter's name instead of corrupting the tracked-set selection.
+
+Enable with ``REPRO_SANITIZE=1`` (any of ``1/true/on/yes``), the
+``--sanitize`` CLI flag, or ``Trainer(..., sanitize=True)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn import module as nn_module
+from repro.nn.module import Module, Parameter
+from repro.tensor import conv
+from repro.train.callbacks import Callback
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tensor import Tensor
+    from repro.train.trainer import Trainer
+
+__all__ = [
+    "ENV_VAR",
+    "SanitizerError",
+    "PlaneIntegrityError",
+    "GradientTripwireError",
+    "sanitize_enabled",
+    "check_plane_integrity",
+    "check_finite_gradients",
+    "install_detach_guard",
+    "uninstall_detach_guard",
+    "PlaneCheckCallback",
+    "GradTripwireCallback",
+    "WorkspacePoisonCallback",
+    "sanitizer_callbacks",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerError(RuntimeError):
+    """Base class for invariant violations caught at runtime."""
+
+
+class PlaneIntegrityError(SanitizerError):
+    """A parameter is no longer a live view into the flat weight plane."""
+
+
+class GradientTripwireError(SanitizerError):
+    """A non-finite value reached a parameter gradient."""
+
+
+def sanitize_enabled(env: dict | None = None) -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitizer mode."""
+    value = (env if env is not None else os.environ).get(ENV_VAR, "")
+    return str(value).strip().lower() in ("1", "true", "on", "yes")
+
+
+# ---------------------------------------------------------------------- #
+# plane integrity
+# ---------------------------------------------------------------------- #
+
+
+def _array_base_address(arr: np.ndarray) -> int:
+    return arr.__array_interface__["data"][0]
+
+
+def check_plane_integrity(model: Module, strict: bool = True) -> list[str]:
+    """Verify every parameter still aliases the flat weight plane.
+
+    Checks, per parameter: the ``plane_backed`` flag, dtype float32,
+    C-contiguity, the exact base-pointer offset implied by ``base_index``,
+    and a write round-trip (a value stored through ``p.data`` is read back
+    from the plane, and vice versa, bit-exactly — the weights are restored
+    afterwards).
+
+    Returns the list of problems found; raises :class:`PlaneIntegrityError`
+    instead when ``strict`` (the default).
+    """
+    problems: list[str] = []
+    plane = model.weight_plane
+    if not model.is_finalized or plane is None:
+        problems.append("model is not finalized (no weight plane)")
+    else:
+        plane_addr = _array_base_address(plane)
+        for name, p in model.named_parameters():
+            prefix = f"parameter {name!r}"
+            if not p.plane_backed:
+                problems.append(f"{prefix}: detached from the weight plane")
+                continue
+            if p.base_index is None:
+                problems.append(f"{prefix}: plane-backed but has no base_index")
+                continue
+            data = p.data
+            if data.dtype != np.float32:
+                problems.append(f"{prefix}: dtype {data.dtype}, expected float32")
+                continue
+            if not data.flags.c_contiguous:
+                problems.append(f"{prefix}: plane view is not C-contiguous")
+                continue
+            expected = plane_addr + 4 * p.base_index
+            actual = _array_base_address(data)
+            if actual != expected:
+                problems.append(
+                    f"{prefix}: data does not alias plane[{p.base_index}:] "
+                    f"(offset {actual - plane_addr} bytes, expected {4 * p.base_index})"
+                )
+                continue
+            if data.size == 0:
+                continue
+            # Write round-trip both directions through the first element.
+            flat = data.reshape(-1)
+            saved = flat[0]
+            sentinel = np.float32(saved + 1.0) if np.isfinite(saved) else np.float32(1.0)
+            flat[0] = sentinel
+            if plane[p.base_index] != sentinel:
+                problems.append(f"{prefix}: write through view did not reach the plane")
+            plane[p.base_index] = saved
+            if flat[0] != saved:
+                problems.append(f"{prefix}: write through plane did not reach the view")
+            flat[0] = saved
+    if problems and strict:
+        raise PlaneIntegrityError(
+            f"weight-plane integrity violated ({len(problems)} problem(s)):\n  "
+            + "\n  ".join(problems)
+        )
+    return problems
+
+
+def _detach_guard(param: Parameter) -> None:
+    raise PlaneIntegrityError(
+        f"assignment detached {param!r} from the weight plane (value could "
+        "not broadcast into the existing view); resize-by-assignment is "
+        "forbidden under REPRO_SANITIZE"
+    )
+
+
+def install_detach_guard() -> None:
+    """Make any plane-detaching ``Parameter.data`` assignment raise."""
+    nn_module.set_plane_detach_hook(_detach_guard)
+
+
+def uninstall_detach_guard() -> None:
+    """Restore the silent detach-and-rebind fallback."""
+    nn_module.set_plane_detach_hook(None)
+
+
+# ---------------------------------------------------------------------- #
+# gradient tripwire
+# ---------------------------------------------------------------------- #
+
+
+def check_finite_gradients(
+    named: Iterable[tuple[str, "Parameter | Tensor"]], where: str = ""
+) -> None:
+    """Raise :class:`GradientTripwireError` on the first non-finite grad."""
+    for name, p in named:
+        g = p.grad
+        if g is None:
+            continue
+        if not np.isfinite(g).all():
+            bad = int(np.size(g) - np.count_nonzero(np.isfinite(g)))
+            suffix = f" {where}" if where else ""
+            raise GradientTripwireError(
+                f"non-finite gradient in {name!r}{suffix}: {bad} of {np.size(g)} "
+                "elements are NaN/inf (poisoned workspace read, exploding "
+                "loss, or a broken backward rule)"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# trainer callbacks
+# ---------------------------------------------------------------------- #
+
+
+class PlaneCheckCallback(Callback):
+    """Assert plane integrity at train start and every epoch end."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        check_plane_integrity(trainer.model)
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None:
+        check_plane_integrity(trainer.model)
+        logs["sanitize_plane_ok"] = True
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        check_plane_integrity(trainer.model)
+
+
+class GradTripwireCallback(Callback):
+    """Scan every parameter gradient between backward and optimizer step."""
+
+    def on_backward_end(self, trainer: "Trainer", step: int) -> None:
+        check_finite_gradients(trainer.model.named_parameters(), where=f"at step {step}")
+
+
+class WorkspacePoisonCallback(Callback):
+    """NaN-fill released conv/pool workspaces after every optimizer step."""
+
+    def __init__(self):
+        self.poisoned_total = 0
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        self.poisoned_total += conv.poison_free_workspaces()
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        # Leave no poison behind for non-sanitized code that runs next.
+        conv.clear_workspace_cache()
+
+
+def sanitizer_callbacks() -> list[Callback]:
+    """The callback set ``Trainer(..., sanitize=True)`` installs."""
+    return [PlaneCheckCallback(), GradTripwireCallback(), WorkspacePoisonCallback()]
+
+
+def verify_model(model: Module, sample: Sequence | None = None) -> dict:
+    """One-shot sanitizer sweep outside a training loop.
+
+    Checks plane integrity and (when ``sample`` — an ``(x, y)`` pair — is
+    given) runs one forward/backward under the gradient tripwire.
+    Returns a small summary dict; raises :class:`SanitizerError` on any
+    violation.
+    """
+    from repro.tensor import Tensor, cross_entropy
+
+    check_plane_integrity(model)
+    summary = {"plane_ok": True, "parameters": sum(1 for _ in model.named_parameters())}
+    if sample is not None:
+        x, y = sample
+        model.zero_grad()
+        loss = cross_entropy(model(Tensor(np.asarray(x, dtype=np.float32))), y)
+        loss.backward()
+        check_finite_gradients(model.named_parameters(), where="in verify_model")
+        model.zero_grad()
+        summary["grads_ok"] = True
+    return summary

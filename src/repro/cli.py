@@ -5,12 +5,16 @@ Commands
 ``info``
     List the model zoo with parameter counts and the paper's budgets.
 ``train``
-    Train a model on a synthetic dataset with a chosen technique.
+    Train a model on a synthetic dataset with a chosen technique
+    (``--sanitize`` runs it under the runtime invariant sanitizers).
 ``energy``
     Print the analytic energy table for a model and budget.
 ``profile``
     Run one experiment config under the op-level profiler and print the
     sorted hot-spot table (optionally writing the perf JSON).
+``analyze``
+    AST lint pass enforcing the plane/pool/determinism invariants
+    (rules RPA001-005), diffed against a committed baseline.
 
 The CLI drives the same public API as the examples; it exists so that the
 headline experiment is one shell command away::
@@ -22,6 +26,7 @@ headline experiment is one shell command away::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -43,7 +48,7 @@ from repro.optim import SGD, BoundedStepDecay, StepDecay
 from repro.optim.base import AccessCounter
 from repro.prune import DSD, GradualMagnitudePruning, MagnitudePruning
 from repro.quant import QuantizedDropBack
-from repro.train import FreezeCallback, Trainer
+from repro.train import FreezeCallback, ProfilerCallback, Trainer
 from repro.utils import format_percent, format_ratio, format_table
 
 MODELS: dict[str, tuple[Callable, str]] = {
@@ -103,11 +108,23 @@ def cmd_train(args: argparse.Namespace) -> int:
     callbacks = []
     if args.freeze_epoch and hasattr(opt, "freeze"):
         callbacks.append(FreezeCallback(args.freeze_epoch))
+    profiler = None
+    if args.perf_out:
+        profiler = ProfilerCallback(report_name=f"train_{args.model}",
+                                    emit_path=args.perf_out,
+                                    meta={"model": args.model, "optimizer": args.optimizer})
+        callbacks.append(profiler)
 
-    trainer = Trainer(model, opt, schedule=schedule, callbacks=callbacks, patience=args.patience)
+    sanitize = True if args.sanitize else None  # None defers to REPRO_SANITIZE
+    trainer = Trainer(model, opt, schedule=schedule, callbacks=callbacks,
+                      patience=args.patience, sanitize=sanitize)
+    if trainer.sanitize:
+        print("runtime sanitizers: ON (plane integrity, grad tripwire, pool poisoning)")
     hist = trainer.fit(
         DataLoader(train, args.batch_size, seed=1), test, epochs=args.epochs, verbose=True
     )
+    if profiler is not None and profiler.report is not None:
+        print(f"perf report written to {args.perf_out}")
 
     print(f"\nbest validation error: {format_percent(hist.best_val_error)} "
           f"(epoch {hist.best_epoch})")
@@ -163,6 +180,59 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import analyze
+
+    if args.list_rules:
+        for code, cls in sorted(analyze.RULE_REGISTRY.items()):
+            print(f"{code}  {cls.summary}")
+        return 0
+
+    select = [c.strip().upper() for c in args.select.split(",")] if args.select else None
+    engine = analyze.LintEngine(select=select, root=Path.cwd())
+    paths = args.paths or ["src"]
+    violations = engine.lint_paths(paths)
+
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        analyze.write_baseline(violations, baseline_path)
+        print(f"baseline updated: {baseline_path} ({len(violations)} accepted violation(s))")
+        return 0
+    if baseline_path.is_file():
+        baseline = analyze.load_baseline(baseline_path)
+        new, fixed = analyze.diff_baseline(violations, baseline)
+    else:
+        new, fixed = list(violations), {}
+
+    if args.json:
+        findings = analyze.findings_to_dict(
+            violations, new, baseline, [str(p) for p in paths], errors=engine.errors
+        )
+        Path(args.json).write_text(json.dumps(findings, indent=2) + "\n")
+        print(f"findings JSON written to {args.json}")
+
+    for v in new:
+        print(v.format())
+    for err in engine.errors:
+        print(f"error: {err}", file=sys.stderr)
+    baselined = len(violations) - len(new)
+    print(
+        f"\n{len(violations)} violation(s): {len(new)} new, {baselined} baselined"
+        + (f" ({baseline_path})" if baseline else " (no baseline file)")
+    )
+    if fixed:
+        total_fixed = sum(fixed.values())
+        print(f"{total_fixed} baselined violation(s) no longer occur — run "
+              "`repro analyze --update-baseline` to shrink the baseline")
+    if new or engine.errors:
+        return 1
+    print("OK: no new violations")
+    return 0
+
+
 def cmd_energy(args: argparse.Namespace) -> int:
     factory, _ = MODELS[args.model]
     model = factory()
@@ -208,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--freeze-epoch", type=int, default=0)
     p_train.add_argument("--patience", type=int, default=None)
     p_train.add_argument("--seed", type=int, default=42)
+    p_train.add_argument("--sanitize", action="store_true",
+                         help="run under the runtime invariant sanitizers "
+                              "(also enabled by REPRO_SANITIZE=1)")
+    p_train.add_argument("--perf-out", default=None,
+                         help="write a perf-report JSON for this run "
+                              "(stamped meta.sanitize=true under --sanitize)")
     p_train.set_defaults(func=cmd_train)
 
     p_profile = sub.add_parser("profile", help="op-level hot-spot profile of one config")
@@ -219,6 +295,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--top", type=int, default=20)
     p_profile.add_argument("--out", default=None, help="write perf JSON to this path")
     p_profile.set_defaults(func=cmd_profile)
+
+    p_analyze = sub.add_parser("analyze",
+                               help="AST lint pass for plane/pool/determinism invariants")
+    p_analyze.add_argument("paths", nargs="*", default=None,
+                           help="files/directories to lint (default: src)")
+    p_analyze.add_argument("--baseline", default="analyze_baseline.json",
+                           help="accepted-violations file (default: analyze_baseline.json)")
+    p_analyze.add_argument("--update-baseline", action="store_true",
+                           help="accept all current violations into the baseline and exit")
+    p_analyze.add_argument("--json", default=None, metavar="PATH",
+                           help="write machine-readable findings JSON (the CI artifact)")
+    p_analyze.add_argument("--select", default=None, metavar="CODES",
+                           help="comma-separated rule codes to run (default: all)")
+    p_analyze.add_argument("--list-rules", action="store_true",
+                           help="print the rule catalog and exit")
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_energy = sub.add_parser("energy", help="analytic energy comparison")
     p_energy.add_argument("--model", choices=MODELS, default="wrn-28-10")

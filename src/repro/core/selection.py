@@ -30,9 +30,12 @@ import heapq
 
 import numpy as np
 
+from repro.profile import profiled
+
 __all__ = ["Selector", "SortSelector", "HeapSelector", "top_k_mask"]
 
 
+@profiled("selector.top_k_mask")
 def top_k_mask(scores: np.ndarray, k: int, out: np.ndarray | None = None) -> np.ndarray:
     """Boolean mask of the ``k`` largest entries of a 1-D score vector.
 
@@ -43,7 +46,7 @@ def top_k_mask(scores: np.ndarray, k: int, out: np.ndarray | None = None) -> np.
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     if out is None:
-        mask = np.zeros(n, dtype=bool)
+        mask = np.zeros(n, dtype=bool)  # repro: noqa[RPA002] fallback when no out= buffer given
     else:
         mask = out
         mask.fill(False)

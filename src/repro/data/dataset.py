@@ -117,6 +117,13 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
+        # Batches feed Parameter planes directly; a float64 batch would
+        # silently promote activations and break bit-determinism (RPA004).
+        if self.dataset.images.dtype != np.float32:
+            raise TypeError(
+                f"dataset {self.dataset.name!r} images are "
+                f"{self.dataset.images.dtype}; the model boundary is float32"
+            )
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
         end = n - (n % self.batch_size) if self.drop_last else n
         for start in range(0, end, self.batch_size):

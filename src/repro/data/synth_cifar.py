@@ -146,6 +146,9 @@ def synth_cifar(
     rng.shuffle(y_test)
     x_train = np.stack([render_cifar_class(int(y), size, rng, noise) for y in y_train])
     x_test = np.stack([render_cifar_class(int(y), size, rng, noise) for y in y_test])
+    # Model boundary: motif math is float64 (explicitly) for anti-aliasing;
+    # the stacked batches must already be float32 (the plane/tensor dtype).
+    assert x_train.dtype == np.float32 and x_test.dtype == np.float32
     return (
         Dataset(x_train, y_train, name="synth-cifar-train"),
         Dataset(x_test, y_test, name="synth-cifar-test"),

@@ -89,13 +89,15 @@ def render_digits(
         seg = segments[int(lab)].copy()  # (S, 4)
         pts = seg.reshape(-1, 2)
 
-        # Random affine about the glyph center.
+        # Random affine about the glyph center.  Geometry stays float64 on
+        # purpose (sub-pixel rasterization); the rendered image is handed
+        # to the model boundary as float32 below.
         angle = rng.normal(0.0, 0.12)
         scale = rng.uniform(0.85, 1.12)
         shear = rng.normal(0.0, 0.12)
         ca, sa = math.cos(angle), math.sin(angle)
-        affine = np.array([[ca, -sa + shear], [sa, ca]]) * scale
-        center = np.array([0.5, 0.5])
+        affine = np.array([[ca, -sa + shear], [sa, ca]], dtype=np.float64) * scale
+        center = np.array([0.5, 0.5], dtype=np.float64)
         shift = rng.normal(0.0, 0.035, size=2)
         pts = (pts - center) @ affine.T + center + shift
         # Small per-point wobble for stroke irregularity.
@@ -143,6 +145,9 @@ def synth_mnist(
     rng.shuffle(y_test)
     x_train = render_digits(y_train, rng, size=size, noise=noise)
     x_test = render_digits(y_test, rng, size=size, noise=noise)
+    # Model boundary: rasterization may use float64 internally, but what
+    # leaves this module must be float32 (the plane/tensor dtype).
+    assert x_train.dtype == np.float32 and x_test.dtype == np.float32
     return (
         Dataset(x_train, y_train, name="synth-mnist-train"),
         Dataset(x_test, y_test, name="synth-mnist-test"),

@@ -27,14 +27,26 @@ Typical lifecycle::
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.init import Initializer
 from repro.tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "set_plane_detach_hook"]
+
+# Observer invoked when a plane-backed parameter falls back to detaching
+# (an assignment that cannot broadcast into its plane view).  The runtime
+# sanitizer (repro.analyze.sanitize) installs a hook that raises, turning
+# the silent detach into a hard error; None keeps the legacy fallback.
+_PLANE_DETACH_HOOK: Callable[["Parameter"], None] | None = None
+
+
+def set_plane_detach_hook(hook: Callable[["Parameter"], None] | None) -> None:
+    """Install (or clear, with ``None``) the plane-detach observer."""
+    global _PLANE_DETACH_HOOK
+    _PLANE_DETACH_HOOK = hook
 
 
 class Parameter(Tensor):
@@ -86,6 +98,8 @@ class Parameter(Tensor):
                 return
             except (ValueError, TypeError):
                 self._plane_backed = False
+                if _PLANE_DETACH_HOOK is not None:
+                    _PLANE_DETACH_HOOK(self)
         self._data = np.asarray(value)
 
     @property

@@ -84,10 +84,13 @@ def prune_channels(model: Module, prune_fraction: float) -> dict[str, np.ndarray
         if not keep.any():
             # Never kill an entire layer: keep its strongest channel.
             keep[np.argmax(np.abs(bn.gamma.data))] = True
-        bn.gamma.data = np.where(keep, bn.gamma.data, 0.0).astype(np.float32)
-        bn.beta.data = np.where(keep, bn.beta.data, 0.0).astype(np.float32)
-        bn.running_mean[~keep] = 0.0
-        bn.running_var[~keep] = 1.0
+        # Mask in place: rebinding `.data` would detach the parameter's
+        # zero-copy view into the weight plane (RPA001).
+        dead = ~keep
+        bn.gamma.data[dead] = 0.0
+        bn.beta.data[dead] = 0.0
+        bn.running_mean[dead] = 0.0
+        bn.running_var[dead] = 1.0
         masks[f"bn{i}"] = keep
     return masks
 

@@ -27,9 +27,12 @@ __all__ = [
     "global_avg_pool2d",
     "conv_out_size",
     "clear_workspace_cache",
+    "poison_free_workspaces",
+    "WorkspaceUseAfterReleaseError",
 ]
 
 
+# repro: noqa[RPA005] shape arithmetic, not an op
 def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
     """Spatial output size of a convolution/pooling window."""
     out = (in_size + 2 * pad - kernel) // stride + 1
@@ -57,12 +60,60 @@ def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
 _WORKSPACE_LOCK = threading.Lock()
 _WORKSPACE: dict[tuple, list[np.ndarray]] = {}
 _WORKSPACE_MAX_PER_KEY = 4
+# ids of free buffers that the sanitizer has NaN-filled; consulted (and
+# verified) the next time the pool hands the buffer out.
+_POISONED: set[int] = set()
 
 
-def clear_workspace_cache() -> None:
+class WorkspaceUseAfterReleaseError(RuntimeError):
+    """A released (poisoned) pool buffer was written before reacquisition.
+
+    Raised only in sanitizer mode: :func:`poison_free_workspaces` NaN-fills
+    every free buffer, so a stale holder *writing* into one is caught here
+    at the next acquire, and a stale *reader* sees NaN instead of silently
+    reading whatever gradient reused the memory.
+    """
+
+
+def clear_workspace_cache() -> None:  # repro: noqa[RPA005] cache admin, not an op
     """Drop all cached col2im workspaces (tests / memory pressure)."""
     with _WORKSPACE_LOCK:
         _WORKSPACE.clear()
+        _POISONED.clear()
+
+
+def poison_free_workspaces() -> int:  # repro: noqa[RPA005] sanitizer sweep, not an op
+    """NaN-fill every currently-free pooled buffer (sanitizer mode).
+
+    Returns the number of buffers poisoned.  Safe to call at any step
+    boundary: only buffers whose refcount shows no outstanding holder are
+    touched, and the pool re-zeroes buffers on acquisition anyway, so
+    numerics are unchanged.  Observable via ``conv.workspace_poisoned``.
+    """
+    n = 0
+    with _WORKSPACE_LOCK:
+        for pool in _WORKSPACE.values():
+            for buf in pool:
+                # Same accounting as _acquire_workspace: pool entry + loop
+                # variable + getrefcount argument == 3 refs when free.
+                if sys.getrefcount(buf) == 3 and np.issubdtype(buf.dtype, np.floating):
+                    buf.fill(np.nan)
+                    _POISONED.add(id(buf))
+                    n += 1
+    if n:
+        add_counter("conv.workspace_poisoned", n)
+    return n
+
+
+def _check_poison(buf: np.ndarray) -> None:
+    """Verify a poisoned buffer is still all-NaN before handing it out."""
+    _POISONED.discard(id(buf))
+    if not np.isnan(buf).all():
+        raise WorkspaceUseAfterReleaseError(
+            f"pool buffer {buf.shape}/{buf.dtype} was written after release "
+            "(poison pattern overwritten); some op holds a stale workspace "
+            "reference past its backward pass"
+        )
 
 
 def _acquire_workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -74,6 +125,8 @@ def _acquire_workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
             # pool entry + loop variable + getrefcount argument == 3 refs
             # exactly when no caller (gradient array, view) holds it.
             if sys.getrefcount(buf) == 3:
+                if id(buf) in _POISONED:
+                    _check_poison(buf)
                 buf.fill(0)
                 add_counter("conv.workspace_hits")
                 return buf
@@ -88,6 +141,8 @@ def _acquire_workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
 def _im2col(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int, oh: int, ow: int) -> np.ndarray:
     """Extract conv patches: (N, C, H, W) -> (N, C*KH*KW, OH*OW)."""
     n, c = xp.shape[:2]
+    # repro: noqa[RPA002] the patch buffer is retained by the backward
+    # closure for the whole step, so refcount-gated pooling cannot reuse it
     cols = np.empty((n, c, kh, kw, oh, ow), dtype=xp.dtype)
     for i in range(kh):
         for j in range(kw):
@@ -177,6 +232,7 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     ow = conv_out_size(w, kernel, stride, 0)
 
     # Stack window candidates along a new axis and take the argmax.
+    # repro: noqa[RPA002] forward output staging; the argmax result aliases it
     cand = np.empty((kernel * kernel, n, c, oh, ow), dtype=x.dtype)
     for i in range(kernel):
         for j in range(kernel):
@@ -211,6 +267,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     ow = conv_out_size(w, kernel, stride, 0)
     inv = 1.0 / (kernel * kernel)
 
+    # repro: noqa[RPA002] op output buffer; escapes into the returned Tensor
     out_data = np.zeros((n, c, oh, ow), dtype=x.dtype)
     for i in range(kernel):
         for j in range(kernel):
@@ -231,6 +288,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     return out
 
 
+@profiled("pool.gap.forward")
 def global_avg_pool2d(x: Tensor) -> Tensor:
     """Mean over the spatial axes: (N, C, H, W) -> (N, C)."""
     n, c, h, w = x.shape
@@ -239,6 +297,7 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 
     def backward(g, out=None):
         if x.requires_grad:
+            # repro: noqa[RPA002] broadcast views are read-only; accumulate needs a real array
             out._accumulate(x, np.broadcast_to(g[:, :, None, None] * inv, x.shape).copy())
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))

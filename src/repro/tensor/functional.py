@@ -29,6 +29,7 @@ __all__ = [
 ]
 
 
+@profiled("linear.forward")
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ W.T + b`` with ``W`` of shape (out, in)."""
     out = x @ weight.T
@@ -37,6 +38,7 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     return out
 
 
+@profiled("prelu.forward")
 def prelu(x: Tensor, slope: Tensor) -> Tensor:
     """Parametric ReLU: ``max(x, 0) + a * min(x, 0)``.
 
@@ -54,6 +56,7 @@ def prelu(x: Tensor, slope: Tensor) -> Tensor:
         if x.requires_grad:
             out._accumulate(x, np.where(pos, g, a * g))
         if slope.requires_grad:
+            # repro: noqa[RPA002] dtype harmonization before unbroadcast
             ga = np.where(pos, 0.0, g * x.data).astype(slope.dtype)
             out._accumulate(slope, unbroadcast(ga, a.shape).reshape(slope.shape))
 
@@ -61,6 +64,7 @@ def prelu(x: Tensor, slope: Tensor) -> Tensor:
     return out
 
 
+@profiled("dropout.forward")
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
     """Inverted dropout: zero with prob ``p``, scale survivors by 1/(1-p)."""
     if not 0.0 <= p < 1.0:
@@ -68,7 +72,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     if not training or p == 0.0:
         return x
     keep = 1.0 - p
-    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep  # repro: noqa[RPA002]
     out_data = x.data * mask
 
     def backward(g, out=None):
@@ -140,6 +144,7 @@ def batch_norm(
     return out
 
 
+@profiled("log_softmax.forward")
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
@@ -155,11 +160,13 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return out
 
 
+@profiled("softmax.forward")
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax via exp(log_softmax) for stability."""
     return log_softmax(x, axis=axis).exp()
 
 
+@profiled("nll_loss.forward")
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     """Mean negative log-likelihood given log-probabilities and int labels."""
     targets = np.asarray(targets)
@@ -169,7 +176,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
 
     def backward(g, out=None):
         if log_probs.requires_grad:
-            full = np.zeros_like(log_probs.data)
+            full = np.zeros_like(log_probs.data)  # repro: noqa[RPA002] scatter target
             full[idx] = -1.0 / n
             out._accumulate(log_probs, full * g)
 
@@ -177,11 +184,13 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     return out
 
 
+@profiled("cross_entropy.forward")
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean softmax cross-entropy from raw logits and integer labels."""
     return nll_loss(log_softmax(logits, axis=-1), targets)
 
 
+@profiled("mse_loss.forward")
 def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean squared error."""
     t = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=pred.dtype)
@@ -189,6 +198,7 @@ def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
     return (diff * diff).mean()
 
 
+@profiled("leaky_relu.forward")
 def leaky_relu(x: Tensor, slope: float = 0.01) -> Tensor:
     """Leaky ReLU with a fixed negative slope."""
     pos = x.data > 0
@@ -202,6 +212,7 @@ def leaky_relu(x: Tensor, slope: float = 0.01) -> Tensor:
     return out
 
 
+@profiled("elu.forward")
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     """Exponential linear unit: x for x>0, alpha*(e^x - 1) otherwise."""
     pos = x.data > 0
@@ -216,6 +227,7 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     return out
 
 
+@profiled("softplus.forward")
 def softplus(x: Tensor) -> Tensor:
     """Numerically stable ``log(1 + e^x)``."""
     out_data = np.logaddexp(0.0, x.data)
@@ -229,6 +241,7 @@ def softplus(x: Tensor) -> Tensor:
     return out
 
 
+@profiled("gelu.forward")
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation)."""
     c = np.sqrt(2.0 / np.pi)

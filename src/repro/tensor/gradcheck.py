@@ -87,7 +87,9 @@ def gradcheck(
         num = numerical_gradient(f, t, eps=eps)
         scale = np.abs(num).max() + 1e-8
         err = np.abs(num - t.grad).max() / scale
-        if err > tol:
+        # NaN/inf in either gradient makes `err > tol` False — a NaN
+        # backward must fail the check, not slip through the comparison.
+        if err > tol or not np.isfinite(err):
             msg = f"tensor #{idx}: gradient mismatch, rel err {err:.3e} > {tol:.1e}"
             if raise_on_fail:
                 raise AssertionError(msg)

@@ -36,6 +36,15 @@ class Callback:
 
     def on_epoch_begin(self, trainer: "Trainer", epoch: int) -> None: ...
 
+    def on_backward_end(self, trainer: "Trainer", step: int) -> None:
+        """After ``loss.backward()``, before the optimizer consumes grads.
+
+        The hook the sanitizer's NaN/inf tripwire uses: gradients are
+        fully accumulated but not yet folded into the tracked-set
+        selection, so a poisoned value can be attributed to its source.
+        """
+        ...
+
     def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None: ...
 
     def on_epoch_end(self, trainer: "Trainer", epoch: int, logs: dict) -> None: ...
@@ -204,6 +213,10 @@ class ProfilerCallback(Callback):
             "epoch_trace": self.epoch_trace,
             **self.meta,
         }
+        # Sanitized runs carry checker overhead in every op; stamp them so
+        # the perf gate (scripts/check_perf_report.py) excludes the report.
+        if getattr(trainer, "sanitize", False):
+            meta["sanitize"] = True
         self.report = PerfReport(
             name=self.report_name, ops=ops, counters=counters, meta=meta
         )

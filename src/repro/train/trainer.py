@@ -8,6 +8,7 @@ improvement").  Instrumentation hooks in via :mod:`repro.train.callbacks`.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -70,6 +71,11 @@ class Trainer:
         Abort the run (setting ``history.diverged``) when the training
         loss becomes NaN/inf — the failure mode variational dropout shows
         on the dense networks (Table 3).
+    sanitize:
+        Run under the runtime sanitizers (plane-integrity checks, NaN/inf
+        gradient tripwire, workspace-pool poisoning — see
+        :mod:`repro.analyze.sanitize`).  ``None`` (the default) defers to
+        the ``REPRO_SANITIZE`` environment variable.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class Trainer:
         callbacks: list[Callback] | None = None,
         patience: int | None = None,
         stop_on_divergence: bool = True,
+        sanitize: bool | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -89,6 +96,18 @@ class Trainer:
         self.callbacks = list(callbacks or [])
         self.patience = patience
         self.stop_on_divergence = bool(stop_on_divergence)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+                "1", "true", "on", "yes",
+            )
+        self.sanitize = bool(sanitize)
+        if self.sanitize:
+            # Imported lazily: the sanitizers are opt-in tooling, and the
+            # analyze package depends on train.callbacks (not vice versa).
+            from repro.analyze import sanitize as _sanitize
+
+            self.callbacks.extend(_sanitize.sanitizer_callbacks())
+            _sanitize.install_detach_guard()
         self.history = History()
         self.global_step = 0
 
@@ -122,6 +141,8 @@ class Trainer:
                     loss = self.loss_fn(logits, yb)
                 with profiled("trainer.backward"):
                     loss.backward()
+                for cb in self.callbacks:
+                    cb.on_backward_end(self, self.global_step)
                 with profiled("trainer.optimizer_step"):
                     self.optimizer.step()
                 loss_val = loss.item()

@@ -1,0 +1,218 @@
+"""Engine-level tests: suppressions, baseline workflow, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import (
+    Baseline,
+    LintEngine,
+    diff_baseline,
+    findings_to_dict,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze.engine import SourceFile, Violation
+from repro.cli import main as cli_main
+
+
+def make_source(text: str, relpath: str = "src/repro/x.py") -> SourceFile:
+    return SourceFile(Path(relpath), relpath, textwrap.dedent(text))
+
+
+def make_violation(code="RPA001", path="src/repro/x.py", line=1, scope="f") -> Violation:
+    return Violation(code=code, path=path, line=line, col=0, message="m", scope=scope)
+
+
+class TestNoqaParsing:
+    def test_inline_coded_noqa(self):
+        src = make_source("x = 1  # repro: noqa[RPA002] output buffer\n")
+        assert src.is_suppressed("RPA002", 1)
+        assert not src.is_suppressed("RPA001", 1)
+
+    def test_bare_noqa_suppresses_all_codes(self):
+        src = make_source("x = 1  # repro: noqa\n")
+        assert src.is_suppressed("RPA001", 1)
+        assert src.is_suppressed("RPA005", 1)
+
+    def test_multiple_codes_comma_separated(self):
+        src = make_source("x = 1  # repro: noqa[RPA001, RPA004]\n")
+        assert src.is_suppressed("RPA001", 1)
+        assert src.is_suppressed("RPA004", 1)
+        assert not src.is_suppressed("RPA002", 1)
+
+    def test_comment_line_noqa_forwards_to_next_code_line(self):
+        src = make_source(
+            """
+            # Long justification that would not fit inline.
+            # repro: noqa[RPA002] reused as the op output
+            x = np.empty(4)
+            """
+        )
+        # dedented text: line 1 blank, 2-3 comments, 4 the assignment
+        assert src.is_suppressed("RPA002", 4)
+        assert not src.is_suppressed("RPA002", 3)
+
+    def test_unsuppressed_lines_report(self):
+        src = make_source("x = 1\n")
+        assert not src.is_suppressed("RPA001", 1)
+
+    def test_case_insensitive_marker(self):
+        src = make_source("x = 1  # REPRO: NOQA[rpa002]\n")
+        # codes are upper-cased during parsing
+        assert src.is_suppressed("RPA002", 1)
+
+
+class TestEngine:
+    def test_unknown_rule_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintEngine(select=["RPA999"])
+
+    def test_select_limits_rules(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("p.data = np.zeros(3)\nq = np.array([0.5])\n")
+        only_rebind = LintEngine(select=["RPA001"], root=tmp_path).lint_paths([f])
+        assert [v.code for v in only_rebind] == ["RPA001"]
+        both = LintEngine(select=["RPA001", "RPA004"], root=tmp_path).lint_paths([f])
+        assert sorted(v.code for v in both) == ["RPA001", "RPA004"]
+
+    def test_directory_walk_and_relative_paths(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("p.data = 1\n")
+        (pkg / "b.py").write_text("ok = 1\n")
+        (pkg / "notes.txt").write_text("p.data = 1\n")
+        engine = LintEngine(select=["RPA001"], root=tmp_path)
+        violations = engine.lint_paths([pkg])
+        assert [v.path for v in violations] == ["pkg/a.py"]
+
+    def test_syntax_error_collected_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        engine = LintEngine(root=tmp_path)
+        assert engine.lint_paths([bad]) == []
+        assert engine.errors and "syntax error" in engine.errors[0]
+
+
+class TestBaselineWorkflow:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        vs = [make_violation(), make_violation(), make_violation(scope="g")]
+        path = write_baseline(vs, tmp_path / "b.json")
+        baseline = load_baseline(path)
+        assert baseline.total == 3
+        assert baseline.entries["RPA001:src/repro/x.py:f"] == 2
+        assert baseline.entries["RPA001:src/repro/x.py:g"] == 1
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_diff_accepts_baselined_occurrences(self):
+        vs = [make_violation(), make_violation()]
+        baseline = Baseline(entries={"RPA001:src/repro/x.py:f": 2})
+        new, fixed = diff_baseline(vs, baseline)
+        assert new == [] and not fixed
+
+    def test_diff_flags_excess_occurrences(self):
+        vs = [make_violation(line=i) for i in (1, 2, 3)]
+        baseline = Baseline(entries={"RPA001:src/repro/x.py:f": 2})
+        new, _ = diff_baseline(vs, baseline)
+        assert len(new) == 1  # one beyond budget
+
+    def test_diff_reports_fixed_entries(self):
+        baseline = Baseline(
+            entries={"RPA001:src/repro/x.py:f": 2, "RPA004:src/repro/y.py:g": 1}
+        )
+        new, fixed = diff_baseline([make_violation()], baseline)
+        assert new == []
+        assert fixed == {"RPA001:src/repro/x.py:f": 1, "RPA004:src/repro/y.py:g": 1}
+
+    def test_fingerprint_is_line_free(self):
+        a = make_violation(line=10)
+        b = make_violation(line=99)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestFindingsDocument:
+    def test_structure(self):
+        vs = [make_violation()]
+        doc = findings_to_dict(vs, vs, None, ["src"], errors=["e"])
+        assert doc["tool"] == "repro.analyze"
+        assert doc["summary"] == {
+            "total": 1,
+            "new": 1,
+            "baselined": 0,
+            "baseline_path": None,
+            "errors": 1,
+        }
+        assert doc["violations"][0]["fingerprint"] == "RPA001:src/repro/x.py:f"
+        assert set(doc["rules"]) == {"RPA001", "RPA002", "RPA003", "RPA004", "RPA005"}
+
+
+class TestAnalyzeCLI:
+    def _tree(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src"
+        pkg.mkdir()
+        (pkg / "m.py").write_text("p.data = np.zeros(3)\n")
+        return pkg
+
+    def test_new_violations_exit_1(self, tmp_path, monkeypatch, capsys):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "RPA001" in out and "1 new" in out
+
+    def test_update_baseline_then_clean(self, tmp_path, monkeypatch, capsys):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--update-baseline"]) == 0
+        assert (tmp_path / "analyze_baseline.json").is_file()
+        assert cli_main(["analyze", "src"]) == 0
+        assert "OK: no new violations" in capsys.readouterr().out
+
+    def test_new_code_beyond_baseline_fails_again(self, tmp_path, monkeypatch):
+        pkg = self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--update-baseline"]) == 0
+        (pkg / "fresh.py").write_text("q.data = 1\n")
+        assert cli_main(["analyze", "src"]) == 1
+
+    def test_json_artifact_written(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        cli_main(["analyze", "src", "--json", "findings.json"])
+        doc = json.loads((tmp_path / "findings.json").read_text())
+        assert doc["summary"]["total"] == 1
+        assert doc["new"][0]["code"] == "RPA001"
+
+    def test_select_filters_rules(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--select", "RPA003"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPA001", "RPA002", "RPA003", "RPA004", "RPA005"):
+            assert code in out
+
+
+class TestRepoIsClean:
+    """The acceptance criterion: `repro analyze src/` vs the committed
+    baseline finds nothing new in this repo."""
+
+    def test_src_has_no_new_violations(self):
+        repo = Path(__file__).resolve().parent.parent
+        engine = LintEngine(root=repo)
+        violations = engine.lint_paths([repo / "src"])
+        assert not engine.errors
+        baseline = load_baseline(repo / "analyze_baseline.json")
+        new, _ = diff_baseline(violations, baseline)
+        assert new == [], "\n".join(v.format() for v in new)

@@ -1,0 +1,229 @@
+"""Unit tests for the RPA lint rules.
+
+Every rule gets a minimal positive fixture (source that must be flagged)
+and a negative fixture (source that must pass), run through the real
+:class:`~repro.analyze.engine.SourceFile` parsing so suppression handling
+and scope tracking are exercised too.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import RULE_REGISTRY
+from repro.analyze.engine import SourceFile, Violation
+from repro.analyze.rules import (
+    ALLOC_CALLS,
+    HOT_MODULES,
+    DataRebindRule,
+    HotPathAllocationRule,
+    ImplicitFloat64Rule,
+    MissingProfiledRule,
+    UnseededRandomRule,
+)
+
+
+def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[Violation]:
+    """Run one rule over a source string at a pretend repo path."""
+    text = textwrap.dedent(source)
+    src = SourceFile(Path(relpath), relpath, text)
+    return rule_cls(src).run()
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert set(RULE_REGISTRY) == {"RPA001", "RPA002", "RPA003", "RPA004", "RPA005"}
+
+    def test_rules_carry_summary_and_rationale(self):
+        for code, cls in RULE_REGISTRY.items():
+            assert cls.code == code
+            assert cls.summary and cls.rationale
+
+
+class TestDataRebindRule:
+    def test_flags_attribute_rebind(self):
+        hits = lint(DataRebindRule, "p.data = np.zeros(3)\n")
+        assert len(hits) == 1
+        assert hits[0].code == "RPA001"
+        assert "p.data" in hits[0].message
+
+    def test_flags_tuple_target(self):
+        hits = lint(DataRebindRule, "a.data, b.data = x, y\n")
+        assert len(hits) == 2
+
+    def test_scope_is_recorded(self):
+        src = """
+        class Pruner:
+            def step(self):
+                self.p.data = 0
+        """
+        (hit,) = lint(DataRebindRule, src)
+        assert hit.scope == "Pruner.step"
+        assert hit.fingerprint == "RPA001:src/repro/example.py:Pruner.step"
+
+    def test_in_place_write_passes(self):
+        assert lint(DataRebindRule, "p.data[...] = arr\np.data[mask] = 0.0\n") == []
+
+    def test_augassign_is_exempt(self):
+        # ndarray.__iadd__ mutates the plane view in place — never detaches.
+        assert lint(DataRebindRule, "p.data += v\np.data -= lr * g\n") == []
+
+    def test_allowed_paths_exempt(self):
+        for allowed in ("src/repro/nn/module.py", "src/repro/tensor/tensor.py"):
+            assert lint(DataRebindRule, "self._data = x\np.data = x\n", relpath=allowed) == []
+
+    def test_unrelated_attribute_passes(self):
+        assert lint(DataRebindRule, "p.grad = None\np.database = 1\n") == []
+
+
+class TestHotPathAllocationRule:
+    def test_flags_np_alloc_in_profiled_function(self):
+        src = """
+        @profiled("op.forward")
+        def op(x):
+            return np.zeros(x.shape)
+        """
+        (hit,) = lint(HotPathAllocationRule, src)
+        assert hit.code == "RPA002"
+        assert "np.zeros" in hit.message
+
+    def test_flags_astype_and_bare_copy(self):
+        src = """
+        @profiled("op")
+        def op(x):
+            y = x.astype(np.float32)
+            z = x.copy()
+            return y, z
+        """
+        hits = lint(HotPathAllocationRule, src)
+        assert len(hits) == 2
+
+    def test_alloc_outside_profiled_function_passes(self):
+        src = """
+        def cold(x):
+            return np.zeros(x.shape)
+        """
+        assert lint(HotPathAllocationRule, src) == []
+
+    def test_nested_unprofiled_inherits_hot_context(self):
+        src = """
+        @profiled("op")
+        def op(x):
+            def inner():
+                return np.empty(4)
+            return inner()
+        """
+        assert len(lint(HotPathAllocationRule, src)) == 1
+
+    def test_noqa_with_justification_suppresses(self):
+        src = """
+        @profiled("op")
+        def op(x):
+            out = np.empty(x.shape)  # repro: noqa[RPA002] forward output buffer
+            return out
+        """
+        assert lint(HotPathAllocationRule, src) == []
+
+    def test_all_alloc_calls_covered(self):
+        for fn in ALLOC_CALLS:
+            src = f"@profiled('op')\ndef op(x):\n    return np.{fn}(x)\n"
+            assert len(lint(HotPathAllocationRule, src)) == 1, fn
+
+
+class TestUnseededRandomRule:
+    def test_flags_global_rng(self):
+        (hit,) = lint(UnseededRandomRule, "x = np.random.rand(3)\n")
+        assert hit.code == "RPA003"
+        assert "global RNG" in hit.message
+
+    def test_flags_unseeded_default_rng(self):
+        hits = lint(
+            UnseededRandomRule,
+            "a = np.random.default_rng()\nb = np.random.default_rng(None)\n",
+        )
+        assert len(hits) == 2
+
+    def test_seeded_default_rng_passes(self):
+        src = "rng = np.random.default_rng(0)\nrng2 = np.random.default_rng(seed)\n"
+        assert lint(UnseededRandomRule, src) == []
+
+    def test_data_modules_exempt(self):
+        src = "x = np.random.rand(3)\n"
+        assert lint(UnseededRandomRule, src, relpath="src/repro/data/synth_mnist.py") == []
+
+    def test_injected_generator_method_passes(self):
+        # rng.normal(...) is a bound Generator method, not np.random.*
+        assert lint(UnseededRandomRule, "x = rng.normal(0, 1, size=3)\n") == []
+
+
+class TestImplicitFloat64Rule:
+    def test_flags_dtypeless_float_literal_array(self):
+        hits = lint(
+            ImplicitFloat64Rule,
+            "a = np.array([0.5, 0.5])\nb = np.asarray([1.0, 2.0])\n",
+        )
+        assert [h.code for h in hits] == ["RPA004", "RPA004"]
+
+    def test_flags_astype_builtin_float(self):
+        (hit,) = lint(ImplicitFloat64Rule, "y = x.astype(float)\n")
+        assert "float64 in disguise" in hit.message
+
+    def test_explicit_dtype_passes(self):
+        src = """
+        a = np.array([0.5], dtype=np.float32)
+        b = np.array([0.5], dtype=np.float64)  # explicit is fine
+        c = np.asarray(x, dtype=np.float32)
+        d = x.astype(np.float32)
+        """
+        assert lint(ImplicitFloat64Rule, src) == []
+
+    def test_integer_literals_pass(self):
+        assert lint(ImplicitFloat64Rule, "a = np.array([1, 2, 3])\n") == []
+
+
+class TestMissingProfiledRule:
+    HOT = "src/repro/tensor/conv.py"
+
+    def test_flags_bare_public_function_in_hot_module(self):
+        (hit,) = lint(MissingProfiledRule, "def conv_thing(x):\n    return x\n", self.HOT)
+        assert hit.code == "RPA005"
+        assert "conv_thing" in hit.message
+
+    def test_profiled_decorator_passes(self):
+        src = """
+        @profiled("conv2d.forward")
+        def conv_thing(x):
+            return x
+        """
+        assert lint(MissingProfiledRule, src, self.HOT) == []
+
+    def test_profiled_region_passes(self):
+        src = """
+        def conv_thing(x):
+            with profiled("conv2d.forward"):
+                return x
+        """
+        assert lint(MissingProfiledRule, src, self.HOT) == []
+
+    def test_private_and_methods_exempt(self):
+        src = """
+        def _helper(x):
+            return x
+
+        class Layer:
+            def forward(self, x):
+                return x
+        """
+        assert lint(MissingProfiledRule, src, self.HOT) == []
+
+    def test_cold_modules_exempt(self):
+        src = "def anything(x):\n    return x\n"
+        assert lint(MissingProfiledRule, src, "src/repro/train/trainer.py") == []
+
+    @pytest.mark.parametrize("relpath", HOT_MODULES)
+    def test_applies_to_every_hot_module(self, relpath):
+        src = "def new_op(x):\n    return x\n"
+        assert len(lint(MissingProfiledRule, src, f"src/repro/{relpath}")) == 1

@@ -1,7 +1,7 @@
 """Validate the CI pipeline config and the perf-regression gate it calls.
 
-The workflow file must stay loadable by a YAML parser and keep the three
-jobs the pipeline is built around (tests, lint, bench-smoke); the
+The workflow file must stay loadable by a YAML parser and keep the four
+jobs the pipeline is built around (tests, lint, bench-smoke, analyze); the
 ``scripts/check_perf_report.py`` comparison logic is tested directly by
 importing the script as a module.
 """
@@ -29,7 +29,7 @@ def workflow() -> dict:
 
 class TestWorkflowConfig:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"tests", "lint", "bench-smoke"}
+        assert set(workflow["jobs"]) == {"tests", "lint", "bench-smoke", "analyze"}
 
     def test_triggers_on_push_and_pr(self, workflow):
         # YAML 1.1 parses the bare key `on` as boolean True
@@ -116,6 +116,85 @@ class TestCheckPerfReport:
         assert mod.main([str(base), str(base)]) == 0
         assert mod.main([str(base), str(cur)]) == 1
         assert "regressed" in capsys.readouterr().out
+
+
+class TestAnalyzeJobWiring:
+    """The analyze job must lint vs the committed baseline and smoke-train
+    with the runtime sanitizers on."""
+
+    def test_lints_against_committed_baseline(self, workflow):
+        runs = " ".join(s.get("run", "") for s in workflow["jobs"]["analyze"]["steps"])
+        assert "repro analyze src" in runs
+        assert "--baseline analyze_baseline.json" in runs
+        assert "--json analyze_findings.json" in runs
+
+    def test_committed_analyze_baseline_exists(self):
+        import json
+
+        path = REPO_ROOT / "analyze_baseline.json"
+        assert path.is_file(), "committed analyze baseline missing"
+        data = json.loads(path.read_text())
+        assert "entries" in data and data["schema_version"] == 1
+
+    def test_smoke_train_runs_under_sanitizers(self, workflow):
+        job = workflow["jobs"]["analyze"]
+        env = [s.get("env", {}) for s in job["steps"]]
+        assert {"REPRO_SANITIZE": "1"} in env
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "repro train" in runs
+        assert "--perf-out" in runs
+
+    def test_findings_uploaded_as_artifact(self, workflow):
+        job = workflow["jobs"]["analyze"]
+        uploads = [s for s in job["steps"] if "upload-artifact" in s.get("uses", "")]
+        assert uploads and "analyze_findings.json" in uploads[0]["with"]["path"]
+
+
+class TestSanitizedReportsSkipPerfGate:
+    """Sanitizer overhead must not trip the perf gate (satellite of the
+    repro.analyze PR): reports stamped ``meta.sanitize`` are excluded."""
+
+    def _sanitized(self, name: str, seconds_by_op: dict[str, float]) -> PerfReport:
+        rep = _report(name, seconds_by_op)
+        rep.meta["sanitize"] = True
+        return rep
+
+    def test_sanitized_current_skips_gate(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        self._sanitized("cur", {"op": 50.0}).write(cur)  # huge "regression"
+        assert mod.main([str(base), str(cur)]) == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_sanitized_baseline_skips_gate(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        self._sanitized("base", {"op": 1.0}).write(base)
+        _report("cur", {"op": 50.0}).write(cur)
+        assert mod.main([str(base), str(cur)]) == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_allow_sanitized_restores_gating(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        self._sanitized("base", {"op": 1.0}).write(base)
+        self._sanitized("cur", {"op": 50.0}).write(cur)
+        assert mod.main([str(base), str(cur), "--allow-sanitized"]) == 1
+        out = capsys.readouterr().out
+        assert "SKIP" not in out
+        assert "regressed" in out
+
+    def test_unsanitized_reports_still_gate(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        _report("cur", {"op": 50.0}).write(cur)
+        assert mod.main([str(base), str(cur)]) == 1
 
 
 class TestPerfGateWiring:

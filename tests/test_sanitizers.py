@@ -1,0 +1,289 @@
+"""Runtime sanitizer tests: seeded faults must be caught loudly.
+
+Each sanitizer exists because a real failure mode is silent without it:
+a parameter detaching from the flat weight plane, a workspace buffer
+written after release, a NaN reaching the tracked-set selection.  These
+tests *inject* those faults and assert the sanitizers trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyze.sanitize import (
+    GradientTripwireError,
+    GradTripwireCallback,
+    PlaneIntegrityError,
+    check_finite_gradients,
+    check_plane_integrity,
+    install_detach_guard,
+    sanitize_enabled,
+    sanitizer_callbacks,
+    uninstall_detach_guard,
+    verify_model,
+)
+from repro.data import DataLoader, Dataset
+from repro.models import mlp
+from repro.nn import BatchNorm1d, Linear, ReLU, Sequential
+from repro.core.dropback import DropBack
+from repro.optim import SGD
+from repro.prune.slimming import bn_gammas, prune_channels
+from repro.tensor import conv
+from repro.train import Trainer
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks_and_pool():
+    """Every test starts and ends without guard hooks or poisoned buffers."""
+    uninstall_detach_guard()
+    conv.clear_workspace_cache()
+    yield
+    uninstall_detach_guard()
+    conv.clear_workspace_cache()
+
+
+def _toy_data(n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4)).astype(np.float32)
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return Dataset(x, y, name="blobs")
+
+
+class TestSanitizeEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "ON", " yes "])
+    def test_truthy_values(self, value):
+        assert sanitize_enabled({"REPRO_SANITIZE": value})
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "nope"])
+    def test_falsy_values(self, value):
+        assert not sanitize_enabled({"REPRO_SANITIZE": value})
+
+
+class TestPlaneIntegrity:
+    def test_finalized_model_passes(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        assert check_plane_integrity(m) == []
+
+    def test_unfinalized_model_fails(self):
+        m = mlp(6, (8,), 3)
+        with pytest.raises(PlaneIntegrityError, match="not finalized"):
+            check_plane_integrity(m)
+
+    def test_round_trip_restores_weights(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        before = m.weight_plane.copy()
+        check_plane_integrity(m)
+        np.testing.assert_array_equal(m.weight_plane, before)
+
+    def test_detached_copy_fault_is_caught(self):
+        # Seeded fault: a parameter's storage is silently replaced by a
+        # copy while the plane_backed flag still claims aliasing — exactly
+        # what a stray `p.data = p.data.copy()` through __dict__ poking
+        # would produce.  The base-address check must see through it.
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        p._data = p._data.copy()
+        with pytest.raises(PlaneIntegrityError, match="alias"):
+            check_plane_integrity(m)
+        problems = check_plane_integrity(m, strict=False)
+        assert len(problems) == 1
+
+    def test_plane_backed_flag_fault_is_caught(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        p.data = np.zeros((99,), dtype=np.float32)  # silent detach (legacy)
+        assert not p.plane_backed
+        with pytest.raises(PlaneIntegrityError, match="detached"):
+            check_plane_integrity(m)
+
+    def test_float64_fault_is_caught(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        p._data = p._data.astype(np.float64)  # keeps plane_backed claim
+        with pytest.raises(PlaneIntegrityError, match="float64"):
+            check_plane_integrity(m)
+
+
+class TestDetachGuard:
+    def test_guard_turns_silent_detach_into_error(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        with pytest.raises(PlaneIntegrityError, match="detached"):
+            p.data = np.zeros((p.size + 1,), dtype=np.float32)
+
+    def test_broadcastable_assignment_still_fine_under_guard(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        p.data = np.ones(p.shape, dtype=np.float32)
+        assert p.plane_backed
+        check_plane_integrity(m)
+
+    def test_uninstall_restores_legacy_fallback(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        uninstall_detach_guard()
+        p.data = np.zeros((p.size + 1,), dtype=np.float32)  # no raise
+        assert not p.plane_backed
+
+
+class TestWorkspacePoisoning:
+    SHAPE = (4, 4)
+
+    def _free_buffer(self) -> tuple:
+        """Put one released float32 buffer in the pool, return its key."""
+        buf = conv._acquire_workspace(self.SHAPE, np.float32)
+        key = (self.SHAPE, np.dtype(np.float32).str)
+        assert any(b is buf for b in conv._WORKSPACE[key])
+        del buf  # release: pool holds the only reference now
+        return key
+
+    def test_poison_fills_free_buffers_with_nan(self):
+        key = self._free_buffer()
+        assert conv.poison_free_workspaces() >= 1
+        assert np.isnan(conv._WORKSPACE[key][0]).all()
+
+    def test_clean_reacquire_after_poison_passes(self):
+        self._free_buffer()
+        conv.poison_free_workspaces()
+        buf = conv._acquire_workspace(self.SHAPE, np.float32)
+        assert not np.isnan(buf).any()  # zeroed on hand-out
+
+    def test_use_after_release_write_is_caught(self):
+        key = self._free_buffer()
+        conv.poison_free_workspaces()
+        # Seeded fault: a stale reference writes into the released buffer.
+        conv._WORKSPACE[key][0][0, 0] = 1.0
+        with pytest.raises(conv.WorkspaceUseAfterReleaseError, match="after release"):
+            conv._acquire_workspace(self.SHAPE, np.float32)
+
+    def test_held_buffers_are_not_poisoned(self):
+        held = conv._acquire_workspace(self.SHAPE, np.float32)
+        conv.poison_free_workspaces()
+        assert not np.isnan(held).any()
+
+    def test_clear_cache_discards_poison_state(self):
+        self._free_buffer()
+        conv.poison_free_workspaces()
+        conv.clear_workspace_cache()
+        buf = conv._acquire_workspace(self.SHAPE, np.float32)
+        assert not np.isnan(buf).any()
+
+
+class TestGradientTripwire:
+    def test_finite_grads_pass(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        for p in m.parameters():
+            p.grad = np.zeros(p.shape, dtype=np.float32)
+        check_finite_gradients(m.named_parameters())
+
+    def test_none_grads_are_skipped(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        check_finite_gradients(m.named_parameters())
+
+    def test_nan_grad_raises_with_parameter_name(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        name, p = next(iter(m.named_parameters()))
+        p.grad = np.full(p.shape, np.nan, dtype=np.float32)
+        with pytest.raises(GradientTripwireError, match=name):
+            check_finite_gradients(m.named_parameters())
+
+    def test_inf_grad_raises(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[-1]
+        p.grad = np.zeros(p.shape, dtype=np.float32)
+        p.grad.reshape(-1)[0] = np.inf
+        with pytest.raises(GradientTripwireError):
+            check_finite_gradients(m.named_parameters())
+
+    def test_callback_trips_mid_training(self):
+        m = mlp(4, (8,), 2).finalize(1)
+        ds = _toy_data()
+        class PoisonGrad(GradTripwireCallback):
+            """Corrupt one gradient right before the tripwire scan."""
+
+            def on_backward_end(self, tr, step):
+                tr.model.parameters()[0].grad[..., 0] = np.nan
+                super().on_backward_end(tr, step)
+
+        tr = Trainer(m, SGD(m, lr=0.1), callbacks=[PoisonGrad()])
+        with pytest.raises(GradientTripwireError, match="at step"):
+            tr.fit(DataLoader(ds, 32, seed=0), ds, epochs=1)
+
+
+class TestVerifyModel:
+    def test_pass_with_sample(self):
+        m = mlp(4, (8,), 2).finalize(1)
+        ds = _toy_data(32)
+        summary = verify_model(m, sample=(ds.images, ds.labels))
+        assert summary["plane_ok"] and summary["grads_ok"]
+        assert summary["parameters"] == len(m.parameters())
+
+
+class TestSanitizedTraining:
+    def test_trainer_installs_sanitizer_callbacks(self):
+        m = mlp(4, (8,), 2).finalize(1)
+        tr = Trainer(m, SGD(m, lr=0.1), sanitize=True)
+        names = {type(cb).__name__ for cb in tr.callbacks}
+        assert {
+            "PlaneCheckCallback",
+            "GradTripwireCallback",
+            "WorkspacePoisonCallback",
+        } <= names
+
+    def test_env_var_enables_sanitize(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        m = mlp(4, (8,), 2).finalize(1)
+        assert Trainer(m, SGD(m, lr=0.1)).sanitize
+
+    def test_sanitized_smoke_train_passes(self):
+        # The acceptance criterion: a short DropBack run under all three
+        # sanitizers completes and still learns.
+        m = mlp(4, (16,), 2).finalize(3)
+        ds = _toy_data(192, seed=3)
+        opt = DropBack(m, lr=0.3, k=m.num_parameters() // 2)
+        tr = Trainer(m, opt, sanitize=True)
+        h = tr.fit(DataLoader(ds, 32, seed=0), ds, epochs=3)
+        assert h.epochs_run == 3
+        assert h.best_val_accuracy > 0.6
+        check_plane_integrity(m)
+
+    def test_sanitizer_callbacks_factory(self):
+        assert len(sanitizer_callbacks()) == 3
+
+
+class TestSlimmingPreservesPlane:
+    """Satellite regression: prune_channels used to rebind γ/β ``.data``,
+    detaching them from the plane; it must mask in place."""
+
+    def _bn_model(self, seed=0):
+        return Sequential(
+            Linear(6, 8), BatchNorm1d(8), ReLU(), Linear(8, 3)
+        ).finalize(seed)
+
+    def test_all_params_stay_plane_backed_after_slimming(self):
+        m = self._bn_model()
+        for i, bn in enumerate(bn_gammas(m)):
+            bn.gamma.data[...] = np.linspace(0.01, 1.0, bn.num_features) + i
+        prune_channels(m, 0.5)
+        assert all(p.plane_backed for p in m.parameters())
+        check_plane_integrity(m)
+
+    def test_slimming_under_detach_guard_does_not_trip(self):
+        m = self._bn_model()
+        install_detach_guard()
+        prune_channels(m, 0.3)  # would raise if it still rebound .data
+        check_plane_integrity(m)
+
+    def test_pruned_channels_are_dead(self):
+        m = self._bn_model()
+        (bn,) = bn_gammas(m)
+        bn.gamma.data[...] = np.linspace(0.01, 1.0, bn.num_features)
+        masks = prune_channels(m, 0.5)
+        dead = ~masks["bn0"]
+        assert dead.any()
+        np.testing.assert_array_equal(bn.gamma.data[dead], 0.0)
+        np.testing.assert_array_equal(bn.beta.data[dead], 0.0)
