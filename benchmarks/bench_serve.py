@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Serving load bench: dynamic batching vs batch-size-1, p50/p99 + throughput.
+
+Thin entry point over :mod:`repro.serve.loadgen` so CI (and humans) can run
+the bench without installing the package::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --clients 16 --max-batch 16 --out benchmarks/results/perf_serve.json
+
+The emitted report is gated in the ``serve-bench`` CI job via
+``scripts/check_perf_report.py --normalize serve.single_forward`` plus
+``--gate-meta speedup_vs_batch1:2.0``; see ``docs/serving.md``.
+"""
+
+import sys
+from pathlib import Path
+
+_src = Path(__file__).resolve().parent.parent / "src"
+if _src.is_dir() and str(_src) not in sys.path:
+    sys.path.insert(0, str(_src))
+
+from repro.serve.loadgen import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

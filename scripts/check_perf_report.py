@@ -31,6 +31,22 @@ report* before comparing.  Absolute wall times are machine-dependent, so a
 baseline committed to the repo can only be gated on ratios; normalizing by
 an op measured in the same process (e.g. ``dropback.reference_step``)
 cancels the hardware out of the comparison.
+
+The same mechanism gates serving latency percentiles: the serving bench
+stores p50/p99 seconds as gauge ops and a bare single-sample forward as
+the anchor, so ``--normalize serve.single_forward`` compares "p99 in units
+of one forward pass" across machines (pass ``--min-seconds 0`` there —
+sub-millisecond percentiles sit below the default noise floor).
+
+``--gate-meta NAME:MIN`` (repeatable) additionally requires the *current*
+report's ``meta[NAME]`` to be a number >= MIN — e.g.
+``--gate-meta speedup_vs_batch1:2.0`` enforces the dynamic-batching
+throughput win, which is a same-process ratio and therefore
+machine-independent by construction.
+
+Exit codes: 0 = gate passed (or sanitized-run skip), 1 = regression or a
+failed meta gate, 2 = unusable input (missing report file, unreadable
+JSON, or a schema version newer than this checker understands).
 """
 
 from __future__ import annotations
@@ -44,6 +60,42 @@ def _ensure_repo_on_path() -> None:
     src = Path(__file__).resolve().parent.parent / "src"
     if src.is_dir() and str(src) not in sys.path:
         sys.path.insert(0, str(src))
+
+
+class UnusableInput(SystemExit):
+    """Exit 2: the gate could not run at all (vs 1: it ran and failed)."""
+
+    def __init__(self, message: str):
+        print(message, file=sys.stderr)
+        super().__init__(2)
+
+
+def _load_report(path: str, loader):
+    """Load one report, mapping every unusable-input failure to exit 2.
+
+    A missing file or a schema version this checker does not understand
+    must fail the CI job *loudly* — silently exiting 0 would disable the
+    gate, and a bare traceback buries the cause.
+    """
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        raise UnusableInput(f"ERROR: perf report not found: {path}")
+    except ValueError as exc:  # schema mismatch or malformed JSON
+        raise UnusableInput(f"ERROR: cannot read perf report {path}: {exc}")
+
+
+def _parse_meta_gates(specs: list[str]) -> list[tuple[str, float]]:
+    gates = []
+    for spec in specs:
+        name, sep, minimum = spec.rpartition(":")
+        if not sep or not name:
+            raise UnusableInput(f"ERROR: --gate-meta expects NAME:MIN, got {spec!r}")
+        try:
+            gates.append((name, float(minimum)))
+        except ValueError:
+            raise UnusableInput(f"ERROR: --gate-meta minimum must be a number, got {spec!r}")
+    return gates
 
 
 def _anchor_seconds(report, normalize: str) -> float:
@@ -110,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--normalize", metavar="OP", default=None,
                         help="divide each op's time by this op's time within the same "
                              "report before comparing (machine-independent ratios)")
+    parser.add_argument("--gate-meta", metavar="NAME:MIN", action="append", default=[],
+                        help="require current report meta[NAME] >= MIN (repeatable, "
+                             "e.g. --gate-meta speedup_vs_batch1:2.0)")
     parser.add_argument("--top", type=int, default=20, help="rows to display")
     parser.add_argument("--allow-sanitized", action="store_true",
                         help="gate even if a report was produced under REPRO_SANITIZE "
@@ -120,8 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     from repro.profile import PerfReport
     from repro.utils import format_table
 
-    baseline = PerfReport.load(args.baseline)
-    current = PerfReport.load(args.current)
+    meta_gates = _parse_meta_gates(args.gate_meta)
+    baseline = _load_report(args.baseline, PerfReport.load)
+    current = _load_report(args.current, PerfReport.load)
 
     if not args.allow_sanitized:
         sanitized = [
@@ -145,11 +201,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"normalized by: {args.normalize}")
     print(format_table(["op", "base s", "current s", "delta"], rows[: args.top]))
 
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} op(s) regressed more than "
-              f"{args.threshold:.0%} (noise floor {args.min_seconds}s):")
-        for name, base_s, cur_s, ratio in regressions:
-            print(f"  {name}: {base_s:.4f}s -> {cur_s:.4f}s ({ratio - 1:+.0%})")
+    meta_failures = []
+    for name, minimum in meta_gates:
+        value = current.meta.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            meta_failures.append(f"meta[{name!r}] missing or non-numeric "
+                                 f"(got {value!r}, need >= {minimum})")
+        elif value < minimum:
+            meta_failures.append(f"meta[{name!r}] = {value} < required minimum {minimum}")
+        else:
+            print(f"meta gate ok: {name} = {value} >= {minimum}")
+
+    if regressions or meta_failures:
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} op(s) regressed more than "
+                  f"{args.threshold:.0%} (noise floor {args.min_seconds}s):")
+            for name, base_s, cur_s, ratio in regressions:
+                print(f"  {name}: {base_s:.4f}s -> {cur_s:.4f}s ({ratio - 1:+.0%})")
+        for failure in meta_failures:
+            print(f"\nFAIL: {failure}")
         return 1
     print(f"\nOK: no op regressed more than {args.threshold:.0%}")
     return 0

@@ -1,9 +1,9 @@
-"""Repo-specific lint rules (RPA001-RPA005).
+"""Repo-specific lint rules (RPA001-RPA006).
 
 Each rule encodes one invariant the flat-weight-plane / workspace-pool /
-deterministic-regeneration design depends on.  See
-``docs/static-analysis.md`` for the full catalog with rationale and the
-suppression syntax.
+deterministic-regeneration design depends on (RPA006 guards the serving
+layer's lock discipline).  See ``docs/static-analysis.md`` for the full
+catalog with rationale and the suppression syntax.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ __all__ = [
     "UnseededRandomRule",
     "ImplicitFloat64Rule",
     "MissingProfiledRule",
+    "LockDisciplineRule",
     "HOT_MODULES",
     "ALLOC_CALLS",
 ]
@@ -308,5 +309,141 @@ class MissingProfiledRule(Rule):
                     if isinstance(ctx, ast.Call) and HotPathAllocationRule._is_profiled_decorator(
                         ctx
                     ):
+                        return True
+        return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """RPA006: bare lock ``.acquire()`` in the serving layer.
+
+    ``repro.serve`` is the repo's only multithreaded subsystem: worker
+    threads, client futures, and the registry's LRU all share locks.  A
+    lock acquired outside a ``with`` block (and not immediately wrapped
+    in ``try``/``finally: ...release()``) leaks on any exception between
+    acquire and release — and a leaked serving lock deadlocks every
+    worker, which presents as requests timing out rather than a crash.
+    Use ``with lock:`` so release is structural.
+
+    The receiver is matched by name (``lock``/``cond``/``sem``/``mutex``
+    substring, case-insensitive) so domain ``acquire`` APIs — e.g.
+    ``ModelRegistry.acquire(digest)``, which checks out a model — are not
+    confused with synchronization primitives.
+    """
+
+    code = "RPA006"
+    summary = "bare lock .acquire() in repro.serve leaks the lock on exceptions"
+    rationale = (
+        "The serving layer is the only multithreaded subsystem; a lock "
+        "acquired without `with` (or try/finally release) stays held if "
+        "anything between acquire and release raises, deadlocking every "
+        "worker thread. Structural release (`with lock:`) cannot leak."
+    )
+
+    #: Only the serving layer is in scope for this rule.
+    serve_dirs = ("serve/",)
+
+    #: Receiver-name fragments that mark a synchronization primitive.
+    _LOCKY = ("lock", "cond", "sem", "mutex")
+
+    def _applies(self) -> bool:
+        return any(d in self.src.relpath for d in self.serve_dirs)
+
+    # -- block scanning ------------------------------------------------- #
+    # Bare-acquire detection is positional (is the *next* statement a
+    # try/finally releasing the same lock?), so the rule walks statement
+    # lists rather than individual nodes.
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self._applies():
+            self._check_block(node.body)
+        self.generic_visit(node)
+
+    def scope_entered(self, node) -> None:
+        if self._applies():
+            self._check_block(node.body)
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._applies():
+            self._check_block(node.body)
+            self._check_block(node.orelse)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._applies():
+            self._check_block(node.body)
+            self._check_block(node.orelse)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        if self._applies():
+            self._check_block(node.body)
+            self._check_block(node.orelse)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        if self._applies():
+            self._check_block(node.body)
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if self._applies():
+            self._check_block(node.body)
+            self._check_block(node.orelse)
+            self._check_block(node.finalbody)
+            for handler in node.handlers:
+                self._check_block(handler.body)
+        self.generic_visit(node)
+
+    def _check_block(self, stmts: list[ast.stmt]) -> None:
+        for i, stmt in enumerate(stmts):
+            call = self._bare_acquire(stmt)
+            if call is None:
+                continue
+            owner = dotted_name(call.func.value)
+            nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+            if self._released_in_finally(nxt, owner):
+                continue
+            shown = owner or "<lock>"
+            self.report(
+                call,
+                f"`{shown}.acquire()` without `with` or try/finally release; "
+                f"use `with {shown}:` so the lock cannot leak on exceptions",
+            )
+
+    @classmethod
+    def _bare_acquire(cls, stmt: ast.stmt) -> ast.Call | None:
+        """The ``.acquire`` call if ``stmt`` is a bare/assigned acquire."""
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        else:
+            return None
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+        ):
+            return None
+        owner = dotted_name(value.func.value) or ""
+        if not any(frag in owner.lower() for frag in cls._LOCKY):
+            return None
+        return value
+
+    @staticmethod
+    def _released_in_finally(stmt: ast.stmt | None, owner: str | None) -> bool:
+        """Whether ``stmt`` is a try/finally whose finalbody releases ``owner``."""
+        if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+            return False
+        for final_stmt in stmt.finalbody:
+            for sub in ast.walk(final_stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                ):
+                    rel_owner = dotted_name(sub.func.value)
+                    if owner is None or rel_owner == owner:
                         return True
         return False

@@ -14,7 +14,14 @@ Commands
     sorted hot-spot table (optionally writing the perf JSON).
 ``analyze``
     AST lint pass enforcing the plane/pool/determinism invariants
-    (rules RPA001-005), diffed against a committed baseline.
+    (rules RPA001-006), diffed against a committed baseline.
+``serve``
+    Register sparse checkpoints in a model registry and drive concurrent
+    clients through the dynamic-batching inference server, printing
+    per-model latency and registry/batching statistics.
+``serve-bench``
+    The serving load bench behind the CI latency gate (same entry point
+    as ``benchmarks/bench_serve.py``).
 
 The CLI drives the same public API as the examples; it exists so that the
 headline experiment is one shell command away::
@@ -233,6 +240,58 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve import InferenceServer, ModelRegistry, run_load
+
+    factory, dataset_kind = MODELS[args.model]
+    if dataset_kind == "mnist":
+        _, test = synth_mnist(n_train=64, n_test=256, seed=0)
+    else:
+        _, test = synth_cifar(n_train=64, n_test=256, seed=0, size=args.image_size)
+    samples = test.images
+
+    budget = int(args.byte_budget_mb * (1 << 20)) if args.byte_budget_mb else None
+    registry = ModelRegistry(byte_budget=budget)
+    digests = [registry.register(Path(p).stem, factory, p) for p in args.checkpoints]
+
+    rows = []
+    with InferenceServer(registry, max_batch_size=args.max_batch,
+                         max_wait_ms=args.wait_ms, workers=args.workers) as server:
+        for digest in digests:
+            result = run_load(server, digest, samples, clients=args.clients,
+                              requests_per_client=args.requests, seed=args.seed)
+            info = registry.describe(digest)
+            rows.append([
+                info["name"], digest[:12], f"{info['k']:,}",
+                f"{info['plane_bytes']:,}", str(result.requests),
+                f"{result.p50 * 1e3:.2f}", f"{result.p99 * 1e3:.2f}",
+                f"{result.throughput_rps:.0f}",
+            ])
+        stats = server.stats
+    print(format_table(
+        ["model", "digest", "k", "plane B", "reqs", "p50 ms", "p99 ms", "req/s"], rows
+    ))
+    reg = registry.stats
+    print(f"\nbatches: {stats.batches} (mean size {stats.mean_batch_size:.2f}, "
+          f"max {stats.batch_size_max})")
+    print(f"registry: {reg.hits} hit(s), {reg.materializations} materialization(s), "
+          f"{reg.evictions} eviction(s); resident {registry.resident_bytes:,} bytes")
+    if args.out:
+        doc = {"models": [registry.describe(d) for d in digests],
+               "server": stats.to_dict(), "registry": reg.to_dict()}
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"serve stats written to {args.out}")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_main as bench_main
+
+    return bench_main(args)
+
+
 def cmd_energy(args: argparse.Namespace) -> int:
     factory, _ = MODELS[args.model]
     model = factory()
@@ -311,6 +370,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--list-rules", action="store_true",
                            help="print the rule catalog and exit")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_serve = sub.add_parser("serve",
+                             help="serve sparse checkpoints through the batching server")
+    p_serve.add_argument("checkpoints", nargs="+",
+                         help="sparse/quantized checkpoint file(s) to register")
+    p_serve.add_argument("--model", choices=MODELS, default="mnist-100-100",
+                         help="architecture the checkpoints were trained with")
+    p_serve.add_argument("--clients", type=int, default=8)
+    p_serve.add_argument("--requests", type=int, default=25,
+                         help="requests per client per model (default 25)")
+    p_serve.add_argument("--max-batch", type=int, default=8)
+    p_serve.add_argument("--wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--byte-budget-mb", type=float, default=None,
+                         help="registry plane budget in MB (default: unbounded)")
+    p_serve.add_argument("--image-size", type=int, default=16,
+                         help="synthetic CIFAR image size (cifar models only)")
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument("--out", default=None, help="write serve stats JSON here")
+    p_serve.set_defaults(func=cmd_serve)
+
+    from repro.serve.loadgen import build_arg_parser as serve_bench_parser
+
+    p_serve_bench = sub.add_parser(
+        "serve-bench",
+        parents=[serve_bench_parser()],
+        add_help=False,
+        help="serving load bench: batching vs batch-size-1 latency report "
+             "(same flags as benchmarks/bench_serve.py)",
+    )
+    p_serve_bench.set_defaults(func=cmd_serve_bench)
 
     p_energy = sub.add_parser("energy", help="analytic energy comparison")
     p_energy.add_argument("--model", choices=MODELS, default="wrn-28-10")

@@ -17,6 +17,7 @@ state for baselines.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,12 +29,89 @@ __all__ = [
     "load_dense",
     "save_sparse",
     "load_sparse",
+    "read_sparse_payload",
+    "apply_sparse_payload",
+    "SparsePayload",
     "sparse_size_bytes",
     "dense_size_bytes",
     "compression_report",
 ]
 
 _FORMAT_VERSION = 1
+
+
+@dataclass
+class SparsePayload:
+    """In-memory content of a sparse (or quantized-sparse) checkpoint.
+
+    This is the wire format decoded once: everything a serving layer needs
+    to materialize the full weight plane on demand — seed, tracked
+    indices/values (already dequantized for the quantized format), and the
+    BatchNorm running statistics.  ``kind`` is ``"sparse"`` or
+    ``"quantized"``; ``bits`` is set only for the latter.
+    """
+
+    seed: int
+    indices: np.ndarray
+    values: np.ndarray
+    zero_untracked: bool = False
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+    kind: str = "sparse"
+    bits: int | None = None
+
+    @property
+    def k(self) -> int:
+        return int(self.indices.size)
+
+
+def read_sparse_payload(path: str) -> SparsePayload:
+    """Decode a sparse or quantized-sparse checkpoint into a payload.
+
+    Accepts both on-disk formats (:func:`save_sparse` and
+    :func:`~repro.io.quantized.save_sparse_quantized`); quantized values
+    come back dequantized to float32.  Dense checkpoints are rejected —
+    they carry no (seed, tracked set) pair to regenerate from.
+    """
+    with np.load(path) as data:
+        if "__qformat__" in data.files:
+            from repro.quant import UniformQuantizer
+
+            version = int(data["__qformat__"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported quantized checkpoint version: {version}")
+            bits = int(data["bits"])
+            quant = UniformQuantizer(bits=bits)
+            values = quant.dequantize(data["q_values"], float(data["scale"]))
+            payload = SparsePayload(
+                seed=int(data["seed"]),
+                indices=np.asarray(data["indices"], dtype=np.int64),
+                values=np.asarray(values, dtype=np.float32),
+                kind="quantized",
+                bits=bits,
+            )
+        elif "__format__" in data.files:
+            version = int(data["__format__"])
+            if version == 0:
+                raise ValueError(
+                    "dense checkpoint: no (seed, tracked set) to regenerate from; "
+                    "use load_dense"
+                )
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported sparse checkpoint version: {version}")
+            payload = SparsePayload(
+                seed=int(data["seed"]),
+                indices=np.asarray(data["indices"], dtype=np.int64),
+                values=np.asarray(data["values"], dtype=np.float32),
+                zero_untracked=bool(int(data["zero_untracked"])),
+            )
+        else:
+            raise ValueError(f"not a repro checkpoint: {path}")
+        payload.buffers = {
+            key[len("buffer::"):]: np.array(data[key])
+            for key in data.files
+            if key.startswith("buffer::")
+        }
+    return payload
 
 
 def save_dense(model: Module, path: str) -> None:
@@ -98,23 +176,19 @@ def load_sparse(model: Module, path: str) -> Module:
     those values (or zero, if the run used the zeroing ablation), and the
     tracked values are scattered back in.
     """
-    with np.load(path) as data:
-        version = int(data["__format__"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported sparse checkpoint version: {version}")
-        seed = int(data["seed"])
-        zero_untracked = bool(int(data["zero_untracked"]))
-        indices = data["indices"]
-        values = data["values"]
-        buffers = {
-            key[len("buffer::"):]: data[key]
-            for key in data.files
-            if key.startswith("buffer::")
-        }
+    payload = read_sparse_payload(path)
+    if payload.kind != "sparse":
+        raise ValueError(
+            f"{payload.kind} checkpoint; use load_sparse_quantized (or read_sparse_payload)"
+        )
+    return apply_sparse_payload(model, payload)
 
-    model.finalize(seed)
-    _scatter_tracked(model, indices, values, zero_untracked)
-    for dotted, arr in buffers.items():
+
+def apply_sparse_payload(model: Module, payload: SparsePayload) -> Module:
+    """Materialize a decoded payload into a model (finalize + scatter)."""
+    model.finalize(payload.seed)
+    _scatter_tracked(model, payload.indices, payload.values, payload.zero_untracked)
+    for dotted, arr in payload.buffers.items():
         model._set_buffer(dotted, arr)
     return model
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import DropBack
-from repro.io.checkpoint import _scatter_tracked
+from repro.io.checkpoint import apply_sparse_payload, read_sparse_payload
 from repro.nn import Module
 from repro.quant import UniformQuantizer
 
@@ -54,25 +54,7 @@ def load_sparse_quantized(model: Module, path: str) -> Module:
     Untracked weights regenerate exactly; tracked values come back at the
     stored precision (dequantized).
     """
-    with np.load(path) as data:
-        version = int(data["__qformat__"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported quantized checkpoint version: {version}")
-        seed = int(data["seed"])
-        bits = int(data["bits"])
-        scale = float(data["scale"])
-        indices = data["indices"]
-        q_values = data["q_values"]
-        buffers = {
-            key[len("buffer::"):]: data[key]
-            for key in data.files
-            if key.startswith("buffer::")
-        }
-
-    model.finalize(seed)
-    quant = UniformQuantizer(bits=bits)
-    values = quant.dequantize(q_values, scale)
-    _scatter_tracked(model, indices, values, zero_untracked=False)
-    for dotted, arr in buffers.items():
-        model._set_buffer(dotted, arr)
-    return model
+    payload = read_sparse_payload(path)
+    if payload.kind != "quantized":
+        raise ValueError(f"{payload.kind} checkpoint; use load_sparse")
+    return apply_sparse_payload(model, payload)

@@ -1,0 +1,279 @@
+"""Model registry: sparse checkpoints in, materialized weight planes out.
+
+A DropBack deployment stores almost nothing per model — a checkpoint is
+``(xorshift seed, k tracked indices, k tracked values)`` plus BatchNorm
+statistics.  The registry keeps that *sparse payload* pinned in memory for
+every registered model (a few KB each) and materializes the full flat
+weight plane only when a request actually needs it:
+
+* checkpoints are keyed by **content digest** (SHA-256 of the wire bytes),
+  so the same checkpoint registered twice shares one entry and a client
+  can pin an exact model version;
+* materialization reuses the regenerating inference engine: finalize the
+  architecture with the stored seed (regenerating every untracked weight)
+  and scatter the k tracked values — one contiguous write per model,
+  courtesy of the flat weight plane;
+* materialized planes are **LRU-evicted under a byte budget**: evicting a
+  cold model drops only its plane (one contiguous buffer); the sparse
+  payload stays, so the next request rematerializes it bit-exactly.
+
+Bit-exactness of evict → rematerialize is a theorem of the design (the
+plane is a pure function of ``(architecture, seed, tracked set)``) and is
+enforced in tests under the plane-integrity sanitizer; when
+``REPRO_SANITIZE=1`` the registry additionally verifies plane integrity
+after every materialization.
+
+All public methods are thread-safe; per-model forward passes are
+serialized by the handle lock (numpy forward kernels share workspace
+state, and batching — not intra-model parallelism — is where serving
+throughput comes from).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.infer import RegeneratingInferenceEngine
+from repro.io import SparsePayload, read_sparse_payload
+from repro.nn import Module
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["ModelRegistry", "ModelHandle", "RegistryStats", "checkpoint_digest"]
+
+
+def checkpoint_digest(path: str) -> str:
+    """SHA-256 content digest of a checkpoint file (the registry key)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _payload_digest(payload: SparsePayload) -> str:
+    """Digest for payloads registered from memory (no wire bytes)."""
+    h = hashlib.sha256()
+    h.update(str(payload.seed).encode())
+    h.update(np.ascontiguousarray(payload.indices).tobytes())
+    h.update(np.ascontiguousarray(payload.values).tobytes())
+    for name in sorted(payload.buffers):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(payload.buffers[name]).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class RegistryStats:
+    """Registry traffic counters (all monotonically increasing)."""
+
+    hits: int = 0  # acquire served from a resident plane
+    materializations: int = 0  # acquire that had to (re)build a plane
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "materializations": self.materializations,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ModelHandle:
+    """A materialized model checked out of the registry.
+
+    Holding a handle keeps the plane alive even if the registry evicts the
+    entry (numpy refcounting); :meth:`forward` serializes per-model
+    forward passes under the entry lock.
+    """
+
+    digest: str
+    name: str
+    model: Module
+    lock: threading.Lock
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """One batched eval-mode forward pass; returns the output array."""
+        with self.lock:
+            with no_grad():
+                out = self.model(Tensor(np.asarray(x, dtype=np.float32)))
+            return out.numpy()
+
+
+@dataclass
+class _Entry:
+    digest: str
+    name: str
+    factory: Callable[[], Module]
+    payload: SparsePayload
+    model: Module | None = None
+    plane_bytes: int = 0
+    forward_lock: threading.Lock = field(default_factory=threading.Lock)
+    materializations: int = 0
+
+
+class ModelRegistry:
+    """Digest-keyed registry of sparse checkpoints with LRU plane cache.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum total bytes of *materialized* weight planes kept resident
+        (``None`` = unbounded).  The plane most recently acquired is never
+        evicted, so a single model larger than the budget still serves.
+    """
+
+    def __init__(self, byte_budget: int | None = None):
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive (or None for unbounded)")
+        self.byte_budget = byte_budget
+        self.stats = RegistryStats()
+        self._lock = threading.RLock()
+        # Insertion order == recency order (oldest first); only entries
+        # with a resident plane participate in eviction.
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, factory: Callable[[], Module], checkpoint_path: str) -> str:
+        """Register a sparse/quantized checkpoint file; returns its digest."""
+        digest = checkpoint_digest(checkpoint_path)
+        payload = read_sparse_payload(checkpoint_path)
+        return self.register_payload(name, factory, payload, digest=digest)
+
+    def register_payload(
+        self,
+        name: str,
+        factory: Callable[[], Module],
+        payload: SparsePayload,
+        digest: str | None = None,
+    ) -> str:
+        """Register an already-decoded payload (tests, in-process export)."""
+        if digest is None:
+            digest = _payload_digest(payload)
+        with self._lock:
+            if digest not in self._entries:
+                self._entries[digest] = _Entry(
+                    digest=digest, name=name, factory=factory, payload=payload
+                )
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # materialization + LRU
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, digest: str) -> ModelHandle:
+        """Check out a materialized model, building its plane if cold."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise KeyError(f"unknown model digest: {digest}")
+            if entry.model is None:
+                entry.model = self._materialize(entry)
+                entry.plane_bytes = int(entry.model.weight_plane.nbytes)
+                entry.materializations += 1
+                self.stats.materializations += 1
+            else:
+                self.stats.hits += 1
+            self._entries.move_to_end(digest)
+            self._evict_over_budget(keep=digest)
+            return ModelHandle(
+                digest=digest, name=entry.name, model=entry.model, lock=entry.forward_lock
+            )
+
+    def _materialize(self, entry: _Entry) -> Module:
+        payload = entry.payload
+        model = entry.factory().finalize(payload.seed)
+        engine = RegeneratingInferenceEngine(model, payload.indices, payload.values)
+        engine.materialize_resident(zero_untracked=payload.zero_untracked)
+        for dotted, arr in payload.buffers.items():
+            model._set_buffer(dotted, arr)
+        model.eval()
+        from repro.analyze.sanitize import check_plane_integrity, sanitize_enabled
+
+        if sanitize_enabled():
+            check_plane_integrity(model)
+        return model
+
+    def _evict_over_budget(self, keep: str) -> None:
+        # caller holds self._lock
+        if self.byte_budget is None:
+            return
+        while self.resident_bytes > self.byte_budget:
+            victim = next(
+                (e for e in self._entries.values() if e.model is not None and e.digest != keep),
+                None,
+            )
+            if victim is None:
+                break  # only `keep` is resident; never evict the active model
+            self._drop_plane(victim)
+
+    def _drop_plane(self, entry: _Entry) -> None:
+        entry.model = None
+        entry.plane_bytes = 0
+        self.stats.evictions += 1
+
+    def evict(self, digest: str) -> bool:
+        """Explicitly drop one model's plane; returns whether it was resident."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise KeyError(f"unknown model digest: {digest}")
+            if entry.model is None:
+                return False
+            self._drop_plane(entry)
+            return True
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes of currently materialized weight planes."""
+        with self._lock:
+            return sum(e.plane_bytes for e in self._entries.values())
+
+    def digests(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def resident_digests(self) -> list[str]:
+        """Digests with a materialized plane, LRU order (coldest first)."""
+        with self._lock:
+            return [d for d, e in self._entries.items() if e.model is not None]
+
+    def describe(self, digest: str) -> dict:
+        """One entry's metadata (for status endpoints and the CLI table)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise KeyError(f"unknown model digest: {digest}")
+            payload = entry.payload
+            return {
+                "digest": entry.digest,
+                "name": entry.name,
+                "kind": payload.kind,
+                "k": payload.k,
+                "seed": payload.seed,
+                "resident": entry.model is not None,
+                "plane_bytes": entry.plane_bytes,
+                "sparse_bytes": int(
+                    payload.indices.nbytes
+                    + payload.values.nbytes
+                    + sum(b.nbytes for b in payload.buffers.values())
+                ),
+                "materializations": entry.materializations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

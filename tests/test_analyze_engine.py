@@ -152,7 +152,9 @@ class TestFindingsDocument:
             "errors": 1,
         }
         assert doc["violations"][0]["fingerprint"] == "RPA001:src/repro/x.py:f"
-        assert set(doc["rules"]) == {"RPA001", "RPA002", "RPA003", "RPA004", "RPA005"}
+        assert set(doc["rules"]) == {
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006"
+        }
 
 
 class TestAnalyzeCLI:

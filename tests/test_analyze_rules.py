@@ -21,6 +21,7 @@ from repro.analyze.rules import (
     DataRebindRule,
     HotPathAllocationRule,
     ImplicitFloat64Rule,
+    LockDisciplineRule,
     MissingProfiledRule,
     UnseededRandomRule,
 )
@@ -34,8 +35,10 @@ def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[V
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert set(RULE_REGISTRY) == {"RPA001", "RPA002", "RPA003", "RPA004", "RPA005"}
+    def test_all_six_rules_registered(self):
+        assert set(RULE_REGISTRY) == {
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006"
+        }
 
     def test_rules_carry_summary_and_rationale(self):
         for code, cls in RULE_REGISTRY.items():
@@ -227,3 +230,75 @@ class TestMissingProfiledRule:
     def test_applies_to_every_hot_module(self, relpath):
         src = "def new_op(x):\n    return x\n"
         assert len(lint(MissingProfiledRule, src, f"src/repro/{relpath}")) == 1
+
+
+class TestLockDisciplineRule:
+    SERVE = "src/repro/serve/example.py"
+
+    def test_flags_bare_acquire_in_serve(self):
+        hits = lint(LockDisciplineRule, "self._lock.acquire()\n", self.SERVE)
+        assert len(hits) == 1
+        assert hits[0].code == "RPA006"
+        assert "with" in hits[0].message
+
+    def test_flags_assigned_acquire(self):
+        src = "ok = cond.acquire(timeout=1.0)\nprint(ok)\n"
+        assert len(lint(LockDisciplineRule, src, self.SERVE)) == 1
+
+    def test_with_statement_is_clean(self):
+        src = """
+        with self._lock:
+            shared += 1
+        """
+        assert lint(LockDisciplineRule, src, self.SERVE) == []
+
+    def test_try_finally_release_is_clean(self):
+        src = """
+        lock.acquire()
+        try:
+            shared += 1
+        finally:
+            lock.release()
+        """
+        assert lint(LockDisciplineRule, src, self.SERVE) == []
+
+    def test_finally_releasing_other_lock_still_flagged(self):
+        src = """
+        lock.acquire()
+        try:
+            shared += 1
+        finally:
+            other_lock.release()
+        """
+        assert len(lint(LockDisciplineRule, src, self.SERVE)) == 1
+
+    def test_acquire_without_adjacent_release_flagged(self):
+        src = """
+        def handler(self):
+            self._cond.acquire()
+            do_work()
+            self._cond.release()
+        """
+        assert len(lint(LockDisciplineRule, src, self.SERVE)) == 1
+
+    def test_nested_blocks_scanned(self):
+        src = """
+        def f(self):
+            if ready:
+                while True:
+                    self._lock.acquire()
+        """
+        assert len(lint(LockDisciplineRule, src, self.SERVE)) == 1
+
+    def test_domain_acquire_apis_not_confused_with_locks(self):
+        # ModelRegistry.acquire checks out a model; not a lock.
+        src = "handle = registry.acquire(digest)\n"
+        assert lint(LockDisciplineRule, src, self.SERVE) == []
+
+    def test_outside_serve_is_exempt(self):
+        src = "self._lock.acquire()\n"
+        assert lint(LockDisciplineRule, src, "src/repro/train/trainer.py") == []
+
+    def test_noqa_suppression(self):
+        src = "startup_lock.acquire()  # repro: noqa[RPA006] held for process lifetime\n"
+        assert lint(LockDisciplineRule, src, self.SERVE) == []

@@ -1,9 +1,9 @@
 """Validate the CI pipeline config and the perf-regression gate it calls.
 
-The workflow file must stay loadable by a YAML parser and keep the four
-jobs the pipeline is built around (tests, lint, bench-smoke, analyze); the
-``scripts/check_perf_report.py`` comparison logic is tested directly by
-importing the script as a module.
+The workflow file must stay loadable by a YAML parser and keep the five
+jobs the pipeline is built around (tests, lint, bench-smoke, analyze,
+serve-bench); the ``scripts/check_perf_report.py`` comparison logic is
+tested directly by importing the script as a module.
 """
 
 from __future__ import annotations
@@ -29,7 +29,23 @@ def workflow() -> dict:
 
 class TestWorkflowConfig:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"tests", "lint", "bench-smoke", "analyze"}
+        assert set(workflow["jobs"]) == {
+            "tests", "lint", "bench-smoke", "analyze", "serve-bench"
+        }
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        conc = workflow["concurrency"]
+        assert conc["cancel-in-progress"] is True
+        assert "github.ref" in conc["group"]
+
+    def test_every_job_caches_pip(self, workflow):
+        for name, job in workflow["jobs"].items():
+            caches = [s for s in job["steps"] if "actions/cache" in s.get("uses", "")]
+            assert caches, f"job {name} has no pip cache step"
+            with_ = caches[0]["with"]
+            assert with_["path"] == "~/.cache/pip"
+            # Keyed on the dependency manifest so edits invalidate the cache.
+            assert "hashFiles('pyproject.toml')" in with_["key"]
 
     def test_triggers_on_push_and_pr(self, workflow):
         # YAML 1.1 parses the bare key `on` as boolean True
@@ -274,3 +290,142 @@ class TestCheckPerfReportNormalize:
         assert mod.main([str(base), str(cur), "--normalize", "anchor"]) == 0
         assert "normalized by: anchor" in capsys.readouterr().out
         assert mod.main([str(base), str(cur)]) == 1
+
+
+class TestCheckerUnusableInput:
+    """Missing or incomprehensible reports must fail loudly with exit 2 —
+    a silent 0 would disable the gate, a traceback would bury the cause."""
+
+    def _exit_code(self, mod, argv) -> int:
+        with pytest.raises(SystemExit) as exc_info:
+            mod.main(argv)
+        return exc_info.value.code
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        mod = _load_checker()
+        cur = tmp_path / "cur.json"
+        _report("cur", {"op": 1.0}).write(cur)
+        assert self._exit_code(mod, [str(tmp_path / "nope.json"), str(cur)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_missing_current_exits_2(self, tmp_path, capsys):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        _report("base", {"op": 1.0}).write(base)
+        assert self._exit_code(mod, [str(base), str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_newer_schema_exits_2(self, tmp_path, capsys):
+        import json
+
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        doc = json.loads(base.read_text())
+        doc["schema_version"] = 999
+        cur.write_text(json.dumps(doc))
+        assert self._exit_code(mod, [str(base), str(cur)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_malformed_json_exits_2(self, tmp_path):
+        mod = _load_checker()
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        cur.write_text("{not json")
+        assert self._exit_code(mod, [str(base), str(cur)]) == 2
+
+
+class TestMetaGate:
+    """``--gate-meta NAME:MIN`` gates numeric meta fields of the current
+    report (the serving job uses it for speedup_vs_batch1)."""
+
+    def _pair(self, tmp_path, meta: dict):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        rep = _report("cur", {"op": 1.0})
+        rep.meta.update(meta)
+        rep.write(cur)
+        return str(base), str(cur)
+
+    def test_meta_at_or_above_minimum_passes(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"speedup": 2.5})
+        assert mod.main([base, cur, "--gate-meta", "speedup:2.0"]) == 0
+        assert "meta gate ok" in capsys.readouterr().out
+
+    def test_meta_below_minimum_fails(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"speedup": 1.4})
+        assert mod.main([base, cur, "--gate-meta", "speedup:2.0"]) == 1
+        assert "required minimum" in capsys.readouterr().out
+
+    def test_missing_meta_key_fails(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {})
+        assert mod.main([base, cur, "--gate-meta", "speedup:2.0"]) == 1
+        assert "missing or non-numeric" in capsys.readouterr().out
+
+    def test_non_numeric_meta_fails(self, tmp_path):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"speedup": "fast"})
+        assert mod.main([base, cur, "--gate-meta", "speedup:2.0"]) == 1
+
+    def test_repeatable(self, tmp_path):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"a": 3.0, "b": 1.0})
+        argv = [base, cur, "--gate-meta", "a:2.0", "--gate-meta", "b:2.0"]
+        assert mod.main(argv) == 1
+        argv = [base, cur, "--gate-meta", "a:2.0", "--gate-meta", "b:0.5"]
+        assert mod.main(argv) == 0
+
+    def test_bad_spec_exits_2(self, tmp_path):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"a": 3.0})
+        with pytest.raises(SystemExit) as exc_info:
+            mod.main([base, cur, "--gate-meta", "nocolon"])
+        assert exc_info.value.code == 2
+
+
+class TestServeBenchJobWiring:
+    """The serve-bench job must stash the committed serving baseline,
+    regenerate it under load, and gate p50/p99 + the batching speedup."""
+
+    def test_baseline_stashed_before_bench_regenerates_it(self, workflow):
+        steps = workflow["jobs"]["serve-bench"]["steps"]
+        runs = [s.get("run", "") for s in steps]
+        stash = next(i for i, r in enumerate(runs) if "perf_serve.baseline.json" in r)
+        bench = next(i for i, r in enumerate(runs) if "bench_serve.py" in r)
+        gate = next(i for i, r in enumerate(runs) if "check_perf_report.py" in r)
+        assert stash < bench < gate
+
+    def test_drives_at_least_eight_concurrent_clients(self, workflow):
+        runs = [s.get("run", "") for s in workflow["jobs"]["serve-bench"]["steps"]]
+        bench = next(r for r in runs if "bench_serve.py" in r)
+        clients = int(bench.split("--clients")[1].split()[0])
+        assert clients >= 8
+
+    def test_gate_normalizes_by_single_forward_and_gates_speedup(self, workflow):
+        runs = " ".join(s.get("run", "") for s in workflow["jobs"]["serve-bench"]["steps"])
+        assert "--normalize serve.single_forward" in runs
+        # Percentiles are sub-millisecond: the default noise floor would
+        # silently skip them, so the job must zero it.
+        assert "--min-seconds 0.0" in runs
+        assert "--gate-meta speedup_vs_batch1:2.0" in runs
+
+    def test_report_uploaded_as_artifact(self, workflow):
+        job = workflow["jobs"]["serve-bench"]
+        uploads = [s for s in job["steps"] if "upload-artifact" in s.get("uses", "")]
+        assert uploads and "perf_serve.json" in uploads[0]["with"]["path"]
+
+    def test_committed_serving_baseline_exists_and_has_gated_ops(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "perf_serve.json"
+        assert path.is_file(), "committed serving baseline missing"
+        report = PerfReport.load(path)
+        for op in ("serve.latency.p50", "serve.latency.p99", "serve.single_forward"):
+            assert op in report.ops, op
+            assert report.ops[op].total_seconds > 0
+        assert report.meta["speedup_vs_batch1"] >= 2.0
+        assert report.meta["clients"] >= 8

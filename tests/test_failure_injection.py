@@ -59,7 +59,7 @@ class TestCheckpointCorruption:
 
     def test_quantized_loader_rejects_plain_sparse(self, trained_sparse_ckpt):
         _, _, path = trained_sparse_ckpt
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="use load_sparse"):
             load_sparse_quantized(mnist_100_100(), path)
 
     def test_wrong_seed_changes_untracked_weights(self, trained_sparse_ckpt, tmp_path):

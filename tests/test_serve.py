@@ -1,0 +1,342 @@
+"""Tests for the serving layer: registry, LRU eviction, dynamic batching."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DropBack
+from repro.data import DataLoader
+from repro.io import (
+    apply_sparse_payload,
+    read_sparse_payload,
+    save_sparse,
+    save_sparse_quantized,
+)
+from repro.io.checkpoint import SparsePayload
+from repro.models import mnist_100_100
+from repro.optim import ConstantLR
+from repro.serve import (
+    BatchPolicy,
+    DynamicBatcher,
+    InferenceServer,
+    ModelRegistry,
+    build_report,
+    checkpoint_digest,
+    run_load,
+)
+from repro.serve.loadgen import LoadResult
+from repro.tensor import Tensor, no_grad
+from repro.train import Trainer
+
+
+def _payload(seed: int, k: int = 500, rng_seed: int = 0) -> SparsePayload:
+    """A synthetic sparse payload for mnist-100-100 (no training needed)."""
+    n = mnist_100_100().num_parameters()
+    rng = np.random.default_rng(rng_seed + seed)
+    indices = np.sort(rng.choice(n, size=k, replace=False)).astype(np.int64)
+    values = rng.normal(scale=0.1, size=k).astype(np.float32)
+    return SparsePayload(seed=seed, indices=indices, values=values)
+
+
+def _dense_forward(payload: SparsePayload, x: np.ndarray) -> np.ndarray:
+    """Reference output: apply the payload to a fresh model, forward densely."""
+    model = apply_sparse_payload(mnist_100_100(), payload)
+    model.eval()
+    with no_grad():
+        return model(Tensor(x.astype(np.float32))).numpy().copy()
+
+
+@pytest.fixture(scope="module")
+def trained_ckpt(tiny_mnist, tmp_path_factory):
+    """A genuinely trained sparse checkpoint (and its quantized twin)."""
+    train, test = tiny_mnist
+    model = mnist_100_100().finalize(11)
+    opt = DropBack(model, k=5_000, lr=0.4)
+    Trainer(model, opt, schedule=ConstantLR(0.4)).fit(
+        DataLoader(train, 64, seed=0), test, epochs=1
+    )
+    tmp = tmp_path_factory.mktemp("serve_ckpt")
+    sparse = str(tmp / "model.npz")
+    quantized = str(tmp / "model_q8.npz")
+    save_sparse(model, opt, sparse)
+    save_sparse_quantized(model, opt, quantized, bits=8)
+    return sparse, quantized, test
+
+
+class TestRegistry:
+    def test_register_is_digest_keyed_and_idempotent(self, trained_ckpt):
+        sparse, _, _ = trained_ckpt
+        registry = ModelRegistry()
+        d1 = registry.register("a", mnist_100_100, sparse)
+        d2 = registry.register("b", mnist_100_100, sparse)
+        assert d1 == d2 == checkpoint_digest(sparse)
+        assert len(registry) == 1
+
+    def test_forward_matches_dense_application(self, trained_ckpt):
+        sparse, _, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("m", mnist_100_100, sparse)
+        x = test.images[:16]
+        served = registry.acquire(digest).forward(x)
+        expected = _dense_forward(read_sparse_payload(sparse), x)
+        np.testing.assert_array_equal(served, expected)
+
+    def test_quantized_checkpoint_serves(self, trained_ckpt):
+        sparse, quantized, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("q8", mnist_100_100, quantized)
+        assert registry.describe(digest)["kind"] == "quantized"
+        x = test.images[:8]
+        served = registry.acquire(digest).forward(x)
+        expected = _dense_forward(read_sparse_payload(quantized), x)
+        np.testing.assert_array_equal(served, expected)
+
+    def test_unknown_digest_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.acquire("deadbeef")
+
+    def test_materialization_is_lazy(self):
+        registry = ModelRegistry()
+        digest = registry.register_payload("lazy", mnist_100_100, _payload(1))
+        assert registry.resident_bytes == 0
+        assert not registry.describe(digest)["resident"]
+        registry.acquire(digest)
+        assert registry.resident_bytes > 0
+        assert registry.stats.materializations == 1
+
+
+class TestLRUEviction:
+    def _plane_bytes(self) -> int:
+        return mnist_100_100().finalize(0).weight_plane.nbytes
+
+    def test_evicts_coldest_over_budget(self):
+        plane = self._plane_bytes()
+        registry = ModelRegistry(byte_budget=2 * plane)
+        digests = [
+            registry.register_payload(f"m{s}", mnist_100_100, _payload(s)) for s in (1, 2, 3)
+        ]
+        for d in digests:
+            registry.acquire(d)
+        # Budget holds two planes: the coldest (first acquired) was evicted.
+        assert registry.resident_bytes == 2 * plane
+        assert registry.resident_digests() == [digests[1], digests[2]]
+        assert registry.stats.evictions == 1
+
+    def test_recency_updates_on_acquire(self):
+        plane = self._plane_bytes()
+        registry = ModelRegistry(byte_budget=2 * plane)
+        d1, d2, d3 = (
+            registry.register_payload(f"m{s}", mnist_100_100, _payload(s)) for s in (1, 2, 3)
+        )
+        registry.acquire(d1)
+        registry.acquire(d2)
+        registry.acquire(d1)  # d1 is now hottest; d2 is the eviction victim
+        registry.acquire(d3)
+        assert set(registry.resident_digests()) == {d1, d3}
+
+    def test_active_model_never_evicted(self):
+        plane = self._plane_bytes()
+        registry = ModelRegistry(byte_budget=plane // 2)  # smaller than one plane
+        digest = registry.register_payload("big", mnist_100_100, _payload(4))
+        handle = registry.acquire(digest)  # must still serve
+        assert registry.resident_digests() == [digest]
+        out = handle.forward(np.zeros((1, 28, 28), dtype=np.float32))
+        assert out.shape == (1, 10)
+
+    def test_evict_rematerialize_bit_exact(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")  # plane integrity checked on materialize
+        plane = self._plane_bytes()
+        registry = ModelRegistry(byte_budget=plane)
+        d1 = registry.register_payload("m1", mnist_100_100, _payload(21))
+        d2 = registry.register_payload("m2", mnist_100_100, _payload(22))
+        first = registry.acquire(d1).model.weight_plane.copy()
+        registry.acquire(d2)  # evicts d1 (budget = one plane)
+        assert not registry.describe(d1)["resident"]
+        again = registry.acquire(d1).model.weight_plane
+        np.testing.assert_array_equal(first, again)
+        assert registry.describe(d1)["materializations"] == 2
+
+    def test_explicit_evict(self):
+        registry = ModelRegistry()
+        digest = registry.register_payload("m", mnist_100_100, _payload(5))
+        assert registry.evict(digest) is False  # not resident yet
+        registry.acquire(digest)
+        assert registry.evict(digest) is True
+        assert registry.resident_bytes == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(byte_budget=0)
+
+
+class TestDynamicBatcher:
+    def test_coalesces_within_batch_bound(self):
+        calls = []
+
+        def forward(digest, xs):
+            calls.append(xs.shape[0])
+            return xs * 2.0
+
+        batcher = DynamicBatcher(forward, max_batch_size=8, max_wait_ms=50.0)
+        n = 40
+        # Submit everything before starting the workers: coalescing is then
+        # deterministic — full queues flush at max_batch_size.
+        futures = [batcher.submit("m", np.array([float(i)])) for i in range(n)]
+        batcher.start()
+        results = [f.result(timeout=30.0) for f in futures]
+        batcher.stop()
+        assert len(calls) <= math.ceil(n / 8)
+        assert sum(calls) == n
+        for i, out in enumerate(results):
+            np.testing.assert_array_equal(out, np.array([2.0 * i], dtype=np.float32))
+
+    def test_routes_by_digest(self):
+        offsets = {"a": 10.0, "b": 20.0}
+
+        def forward(digest, xs):
+            return xs + offsets[digest]
+
+        batcher = DynamicBatcher(forward, max_batch_size=4, max_wait_ms=5.0)
+        futures = [
+            (d, i, batcher.submit(d, np.array([float(i)])))
+            for i, d in enumerate(["a", "b"] * 8)
+        ]
+        batcher.start()
+        for d, i, f in futures:
+            np.testing.assert_array_equal(
+                f.result(timeout=30.0), np.array([i + offsets[d]], dtype=np.float32)
+            )
+        batcher.stop()
+
+    def test_exception_fans_out_to_batch(self):
+        def forward(digest, xs):
+            raise RuntimeError("model exploded")
+
+        batcher = DynamicBatcher(forward, max_batch_size=4, max_wait_ms=5.0)
+        futures = [batcher.submit("m", np.zeros(3)) for _ in range(4)]
+        batcher.start()
+        for f in futures:
+            with pytest.raises(RuntimeError, match="model exploded"):
+                f.result(timeout=30.0)
+        batcher.stop()
+
+    def test_wrong_row_count_is_an_error(self):
+        def forward(digest, xs):
+            return xs[:1]
+
+        batcher = DynamicBatcher(forward, max_batch_size=4, max_wait_ms=5.0)
+        futures = [batcher.submit("m", np.zeros(3)) for _ in range(4)]
+        batcher.start()
+        for f in futures:
+            with pytest.raises(RuntimeError, match="rows"):
+                f.result(timeout=30.0)
+        batcher.stop()
+
+    def test_stop_fails_pending_requests(self):
+        batcher = DynamicBatcher(lambda d, xs: xs, max_batch_size=8, max_wait_ms=1000.0)
+        future = batcher.submit("m", np.zeros(3))  # never started
+        batcher.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            future.result(timeout=5.0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(lambda d, xs: xs, workers=0)
+
+
+class TestInferenceServer:
+    def test_concurrent_serving_matches_dense(self, trained_ckpt):
+        sparse, _, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("m", mnist_100_100, sparse)
+        x = test.images[:32]
+        expected = _dense_forward(read_sparse_payload(sparse), x)
+
+        with InferenceServer(registry, max_batch_size=8, max_wait_ms=2.0) as server:
+            futures = [server.submit(digest, x[i]) for i in range(32)]
+            outs = np.stack([f.result(timeout=30.0) for f in futures])
+            stats = server.stats
+        # Logits agree up to BLAS blocking (batch shape differs from the
+        # dense reference pass); bit-exactness at fixed batch shape is
+        # covered by TestRegistry.test_forward_matches_dense_application.
+        np.testing.assert_allclose(outs, expected, rtol=1e-5, atol=1e-6)
+        np.testing.assert_array_equal(outs.argmax(axis=-1), expected.argmax(axis=-1))
+        assert stats.requests == 32
+        assert stats.samples == 32
+        assert stats.batches <= math.ceil(32 / 8) + 4  # racing workers may split batches
+        assert stats.by_digest[digest] == stats.batches
+
+    def test_batching_uses_fewer_forwards_than_requests(self, trained_ckpt):
+        sparse, _, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("m", mnist_100_100, sparse)
+        n_clients, per_client = 8, 4
+
+        with InferenceServer(registry, max_batch_size=8, max_wait_ms=20.0) as server:
+            barrier = threading.Barrier(n_clients)
+            outs = {}
+
+            def client(ci):
+                barrier.wait(timeout=10.0)
+                for j in range(per_client):
+                    outs[(ci, j)] = server.serve(digest, test.images[ci])
+
+            threads = [threading.Thread(target=client, args=(ci,)) for ci in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            stats = server.stats
+        assert stats.samples == n_clients * per_client
+        assert stats.batches < stats.samples  # coalescing actually happened
+        assert stats.batch_size_max > 1
+
+
+class TestLoadgen:
+    def test_run_load_and_report(self, trained_ckpt):
+        sparse, _, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("m", mnist_100_100, sparse)
+        with InferenceServer(registry, max_batch_size=4, max_wait_ms=2.0) as server:
+            result = run_load(server, digest, test.images, clients=4,
+                              requests_per_client=3, seed=0)
+        assert result.requests == 12
+        assert result.latencies.shape == (12,)
+        assert 0 < result.p50 <= result.p99
+        assert result.throughput_rps > 0
+
+    def test_report_shape_and_meta(self):
+        rng = np.random.default_rng(0)
+        batched = LoadResult(100, 8, 1.0, rng.uniform(1e-4, 1e-3, 100))
+        batch1 = LoadResult(100, 8, 2.0, rng.uniform(1e-3, 1e-2, 100))
+        report = build_report("serve", batched, batch1, 5e-5, meta={"model": "x"})
+        assert set(report.ops) == {
+            "serve.latency.p50", "serve.latency.p99", "serve.latency.mean",
+            "serve.single_forward",
+        }
+        assert report.ops["serve.latency.p50"].calls == 100
+        assert report.meta["speedup_vs_batch1"] == pytest.approx(2.0)
+        assert report.meta["model"] == "x"
+        assert report.counters["serve.requests"] == 100
+        # round-trips through the versioned wire format
+        from repro.profile import PerfReport
+
+        clone = PerfReport.from_json(report.to_json())
+        assert clone.ops["serve.latency.p99"].total_seconds == pytest.approx(
+            report.ops["serve.latency.p99"].total_seconds
+        )
+
+    def test_load_validation(self, trained_ckpt):
+        sparse, _, test = trained_ckpt
+        registry = ModelRegistry()
+        digest = registry.register("m", mnist_100_100, sparse)
+        with InferenceServer(registry) as server:
+            with pytest.raises(ValueError):
+                run_load(server, digest, test.images, clients=0)
