@@ -1,9 +1,10 @@
-"""Repo-specific lint rules (RPA001-RPA006).
+"""Repo-specific lint rules (RPA001-RPA007).
 
 Each rule encodes one invariant the flat-weight-plane / workspace-pool /
 deterministic-regeneration design depends on (RPA006 guards the serving
-layer's lock discipline).  See ``docs/static-analysis.md`` for the full
-catalog with rationale and the suppression syntax.
+layer's lock discipline, RPA007 the kernel-dispatch boundary).  See
+``docs/static-analysis.md`` for the full catalog with rationale and the
+suppression syntax.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ __all__ = [
     "ImplicitFloat64Rule",
     "MissingProfiledRule",
     "LockDisciplineRule",
+    "DirectMatmulRule",
     "HOT_MODULES",
     "ALLOC_CALLS",
 ]
@@ -33,6 +35,9 @@ __all__ = [
 HOT_MODULES = (
     "tensor/conv.py",
     "tensor/functional.py",
+    "tensor/kernels/reference.py",
+    "tensor/kernels/fast.py",
+    "tensor/kernels/threaded.py",
     "core/selection.py",
 )
 
@@ -446,4 +451,87 @@ class LockDisciplineRule(Rule):
                     rel_owner = dotted_name(sub.func.value)
                     if owner is None or rel_owner == owner:
                         return True
+        return False
+
+
+@register_rule
+class DirectMatmulRule(Rule):
+    """RPA007: raw GEMM calls that bypass the kernel-dispatch registry.
+
+    Since the kernels package landed, every matrix product in model and
+    training code is supposed to route through ``kernels.resolve`` — that
+    is what makes ``REPRO_BACKEND=reference`` a trustworthy parity oracle
+    and lets the perf gate attribute GEMM time per backend.  A direct
+    ``np.matmul``/``@``/``np.einsum`` in ``nn/`` or ``core/`` silently
+    pins that product to the default BLAS path on *every* backend.
+    Intentional exceptions (e.g. the PCA analysis helpers, which are
+    offline and backend-irrelevant) are fingerprinted in the baseline.
+    """
+
+    code = "RPA007"
+    summary = "raw numpy GEMM bypasses the kernel-dispatch registry"
+    rationale = (
+        "Backend selection (REPRO_BACKEND / use_backend) only governs ops "
+        "that resolve through repro.tensor.kernels; a direct np.matmul or "
+        "ndarray @ in model/training code runs the same code on every "
+        "backend, so reference-vs-fast parity no longer covers it and the "
+        "per-backend perf counters under-report GEMM time."
+    )
+
+    #: Directories whose matrix products must go through the registry.
+    guarded_dirs = ("nn/", "core/", "analysis/")
+
+    #: Guarded directories that never hold Tensors — there, *every* ``@``
+    #: is an ndarray product (nn/ and core/ mix Tensor ``@``, which
+    #: already dispatches, so they get the evidence-based heuristic).
+    ndarray_only_dirs = ("analysis/",)
+
+    #: numpy free functions that perform a matrix product.
+    _GEMM_CALLS = frozenset({"matmul", "dot", "einsum", "tensordot", "inner", "vdot"})
+
+    def _applies(self) -> bool:
+        return any(d in self.src.relpath for d in self.guarded_dirs)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._applies():
+            name = dotted_name(node.func)
+            if name is not None:
+                head, _, tail = name.rpartition(".")
+                if head in ("np", "numpy") and tail in self._GEMM_CALLS:
+                    self.report(
+                        node,
+                        f"`{name}(...)` bypasses the kernel registry; build the "
+                        "product from Tensor ops (or kernels.resolve('matmul'))",
+                    )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            self._applies()
+            and isinstance(node.op, ast.MatMult)
+            and (
+                any(d in self.src.relpath for d in self.ndarray_only_dirs)
+                or self._on_ndarray(node)
+            )
+        ):
+            self.report(
+                node,
+                "ndarray `@` bypasses the kernel registry; build the product "
+                "from Tensor ops (or kernels.resolve('matmul'))",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _on_ndarray(node: ast.BinOp) -> bool:
+        """Heuristic: ``a.data @ b`` / ``np.*`` operands are ndarray products;
+        a bare ``x @ y`` is assumed to be Tensor.__matmul__ (which already
+        dispatches) and left alone."""
+        for side in (node.left, node.right):
+            name = dotted_name(side)
+            if name is not None and (name.endswith(".data") or name.startswith(("np.", "numpy."))):
+                return True
+            if isinstance(side, ast.Call):
+                fn = dotted_name(side.func)
+                if fn is not None and fn.startswith(("np.", "numpy.")):
+                    return True
         return False

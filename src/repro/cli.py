@@ -14,7 +14,11 @@ Commands
     sorted hot-spot table (optionally writing the perf JSON).
 ``analyze``
     AST lint pass enforcing the plane/pool/determinism invariants
-    (rules RPA001-006), diffed against a committed baseline.
+    (rules RPA001-007), diffed against a committed baseline.
+``kernels``
+    Inspect the kernel-dispatch registry (backends per op, active
+    selection) and micro-bench every backend into a perf report — the
+    artifact the CI kernel gate diffs against its committed baseline.
 ``serve``
     Register sparse checkpoints in a model registry and drive concurrent
     clients through the dynamic-batching inference server, printing
@@ -55,6 +59,7 @@ from repro.optim import SGD, BoundedStepDecay, StepDecay
 from repro.optim.base import AccessCounter
 from repro.prune import DSD, GradualMagnitudePruning, MagnitudePruning
 from repro.quant import QuantizedDropBack
+from repro.tensor import kernels
 from repro.train import FreezeCallback, ProfilerCallback, Trainer
 from repro.utils import format_percent, format_ratio, format_table
 
@@ -175,6 +180,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "seed": args.seed,
             "val_error": result.val_error,
+            "backend": kernels.get_backend(),
+            "threads": kernels.thread_count(),
         },
     )
     print()
@@ -237,6 +244,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if new or engine.errors:
         return 1
     print("OK: no new violations")
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.tensor.kernels import bench
+
+    if not args.bench:
+        active = kernels.get_backend()
+        rows = []
+        for op in kernels.list_ops():
+            backends = kernels.list_backends(op)
+            resolved, _ = kernels.resolve(op)
+            rows.append([op, ", ".join(backends), resolved])
+        print(format_table(["op", "backends", "active"], rows))
+        print(f"\nactive backend: {active} (REPRO_BACKEND)  "
+              f"threads: {kernels.thread_count()} (REPRO_THREADS)")
+        return 0
+
+    print(f"micro-benching kernels ({args.rounds} round(s) per backend) ...")
+    report = bench.bench_kernels(rounds=args.rounds, seed=args.seed)
+    print(bench.format_bench_table(report))
+    speedups = {k: v for k, v in report.meta.items() if k.startswith("speedup_")}
+    if speedups:
+        print("\n" + "  ".join(f"{k}={v:.2f}x" for k, v in sorted(speedups.items())))
+    if args.out:
+        path = report.write(args.out)
+        print(f"perf report written to {path}")
     return 0
 
 
@@ -370,6 +404,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--list-rules", action="store_true",
                            help="print the rule catalog and exit")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_kernels = sub.add_parser("kernels",
+                               help="kernel-dispatch registry: list backends or micro-bench")
+    p_kernels.add_argument("--bench", action="store_true",
+                           help="time every backend of the benched ops (default: just "
+                                "list the dispatch table)")
+    p_kernels.add_argument("--rounds", type=int, default=30,
+                           help="timing rounds per (op, backend); the report keeps the min")
+    p_kernels.add_argument("--seed", type=int, default=0)
+    p_kernels.add_argument("--out", default=None,
+                           help="write the bench perf JSON here (the CI gate artifact)")
+    p_kernels.set_defaults(func=cmd_kernels)
 
     p_serve = sub.add_parser("serve",
                              help="serve sparse checkpoints through the batching server")

@@ -1,24 +1,37 @@
-"""Convolution and pooling primitives for the autograd engine.
+"""Convolution and pooling ops for the autograd engine.
 
-Convolution is implemented via explicit patch extraction ("im2col") with a
-small Python loop over the kernel footprint (KH x KW iterations, each a
-vectorized strided slice) and a single batched matmul.  The backward pass
-mirrors it: a matmul for the weight gradient and a scatter-add ("col2im")
-for the input gradient.  This keeps the hot path inside BLAS, per the
-numpy-first performance guidance.
+The numerical work lives in :mod:`repro.tensor.kernels`: each op resolves
+its forward/backward kernel pair from the dispatch registry at
+construction time (so a forward's backward always runs on the backend the
+forward used) and this module only wires the result into the tape.  The
+``reference`` backend is the original im2col/col2im implementation
+verbatim; ``fast`` runs the same math on pooled, persistent workspaces
+with a batch-flattened GEMM for small spatial outputs.
 
-All tensors are NCHW.
+All tensors are NCHW.  The workspace pool itself lives in
+:mod:`repro.tensor.workspace` and is re-exported here for callers (and
+tests) that predate the split.
 """
 
 from __future__ import annotations
 
-import sys
-import threading
-
 import numpy as np
 
-from repro.profile import add_counter, profiled
+from repro.profile import profiled
+from repro.tensor import kernels
 from repro.tensor.tensor import Tensor
+
+# Re-exported pool API (the pool predates the kernels package and the
+# sanitizer/tests address it as repro.tensor.conv.*).
+from repro.tensor.workspace import (  # noqa: F401 - back-compat re-exports
+    _POISONED,
+    _WORKSPACE,
+    _WORKSPACE_MAX_PER_KEY,
+    WorkspaceUseAfterReleaseError,
+    _acquire_workspace,
+    clear_workspace_cache,
+    poison_free_workspaces,
+)
 
 __all__ = [
     "conv2d",
@@ -43,138 +56,6 @@ def conv_out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
-# ---------------------------------------------------------------------- #
-# col2im workspace cache
-# ---------------------------------------------------------------------- #
-#
-# The col2im scatter-add — and the max/avg pooling backward scatters —
-# need a zeroed buffer every backward call; for a conv net that is one
-# large allocation per layer per step.  The buffers are reused via a small
-# per-(shape, dtype) pool.  Reuse is only
-# safe once no gradient array still aliases the buffer (the returned
-# gradient is the buffer itself, or an interior view when pad > 0), so a
-# buffer is handed out again only when its CPython refcount shows no
-# outstanding holders.  Hits/misses are observable via the profiler
-# counters ``conv.workspace_hits`` / ``conv.workspace_misses``.
-
-_WORKSPACE_LOCK = threading.Lock()
-_WORKSPACE: dict[tuple, list[np.ndarray]] = {}
-_WORKSPACE_MAX_PER_KEY = 4
-# ids of free buffers that the sanitizer has NaN-filled; consulted (and
-# verified) the next time the pool hands the buffer out.
-_POISONED: set[int] = set()
-
-
-class WorkspaceUseAfterReleaseError(RuntimeError):
-    """A released (poisoned) pool buffer was written before reacquisition.
-
-    Raised only in sanitizer mode: :func:`poison_free_workspaces` NaN-fills
-    every free buffer, so a stale holder *writing* into one is caught here
-    at the next acquire, and a stale *reader* sees NaN instead of silently
-    reading whatever gradient reused the memory.
-    """
-
-
-def clear_workspace_cache() -> None:  # repro: noqa[RPA005] cache admin, not an op
-    """Drop all cached col2im workspaces (tests / memory pressure)."""
-    with _WORKSPACE_LOCK:
-        _WORKSPACE.clear()
-        _POISONED.clear()
-
-
-def poison_free_workspaces() -> int:  # repro: noqa[RPA005] sanitizer sweep, not an op
-    """NaN-fill every currently-free pooled buffer (sanitizer mode).
-
-    Returns the number of buffers poisoned.  Safe to call at any step
-    boundary: only buffers whose refcount shows no outstanding holder are
-    touched, and the pool re-zeroes buffers on acquisition anyway, so
-    numerics are unchanged.  Observable via ``conv.workspace_poisoned``.
-    """
-    n = 0
-    with _WORKSPACE_LOCK:
-        for pool in _WORKSPACE.values():
-            for buf in pool:
-                # Same accounting as _acquire_workspace: pool entry + loop
-                # variable + getrefcount argument == 3 refs when free.
-                if sys.getrefcount(buf) == 3 and np.issubdtype(buf.dtype, np.floating):
-                    buf.fill(np.nan)
-                    _POISONED.add(id(buf))
-                    n += 1
-    if n:
-        add_counter("conv.workspace_poisoned", n)
-    return n
-
-
-def _check_poison(buf: np.ndarray) -> None:
-    """Verify a poisoned buffer is still all-NaN before handing it out."""
-    _POISONED.discard(id(buf))
-    if not np.isnan(buf).all():
-        raise WorkspaceUseAfterReleaseError(
-            f"pool buffer {buf.shape}/{buf.dtype} was written after release "
-            "(poison pattern overwritten); some op holds a stale workspace "
-            "reference past its backward pass"
-        )
-
-
-def _acquire_workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
-    """A zeroed array of ``shape``/``dtype``, reused across backward calls."""
-    key = (shape, np.dtype(dtype).str)
-    with _WORKSPACE_LOCK:
-        pool = _WORKSPACE.setdefault(key, [])
-        for buf in pool:
-            # pool entry + loop variable + getrefcount argument == 3 refs
-            # exactly when no caller (gradient array, view) holds it.
-            if sys.getrefcount(buf) == 3:
-                if id(buf) in _POISONED:
-                    _check_poison(buf)
-                buf.fill(0)
-                add_counter("conv.workspace_hits")
-                return buf
-        buf = np.zeros(shape, dtype=dtype)
-        if len(pool) < _WORKSPACE_MAX_PER_KEY:
-            pool.append(buf)
-        add_counter("conv.workspace_misses")
-        return buf
-
-
-@profiled("conv.im2col")
-def _im2col(xp: np.ndarray, kh: int, kw: int, sh: int, sw: int, oh: int, ow: int) -> np.ndarray:
-    """Extract conv patches: (N, C, H, W) -> (N, C*KH*KW, OH*OW)."""
-    n, c = xp.shape[:2]
-    # repro: noqa[RPA002] the patch buffer is retained by the backward
-    # closure for the whole step, so refcount-gated pooling cannot reuse it
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=xp.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            cols[:, :, i, j] = xp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
-    return cols.reshape(n, c * kh * kw, oh * ow)
-
-
-@profiled("conv.col2im")
-def _col2im(
-    cols: np.ndarray,
-    x_shape: tuple[int, ...],
-    kh: int,
-    kw: int,
-    sh: int,
-    sw: int,
-    oh: int,
-    ow: int,
-    pad: int,
-) -> np.ndarray:
-    """Scatter-add patches back: inverse of :func:`_im2col` (gradient flow)."""
-    n, c, h, w = x_shape
-    hp, wp = h + 2 * pad, w + 2 * pad
-    xg = _acquire_workspace((n, c, hp, wp), cols.dtype)
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    for i in range(kh):
-        for j in range(kw):
-            xg[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols[:, :, i, j]
-    if pad:
-        xg = xg[:, :, pad:-pad, pad:-pad]
-    return xg
-
-
 @profiled("conv2d.forward")
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
     """2-D convolution (cross-correlation) with optional bias.
@@ -190,34 +71,36 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
     stride, pad:
         Stride and symmetric zero-padding on both spatial axes.
     """
-    n, c, h, w = x.shape
-    f, c2, kh, kw = weight.shape
+    _, c, h, w = x.shape
+    _, c2, kh, kw = weight.shape
     if c != c2:
         raise ValueError(f"channel mismatch: input has {c}, kernel expects {c2}")
     oh = conv_out_size(h, kh, stride, pad)
     ow = conv_out_size(w, kw, stride, pad)
 
-    xp = np.pad(x.data, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x.data
-    cols = _im2col(xp, kh, kw, stride, stride, oh, ow)  # (N, C*KH*KW, OH*OW)
-    w_flat = weight.data.reshape(f, -1)  # (F, C*KH*KW)
-    out_data = np.matmul(w_flat, cols).reshape(n, f, oh, ow)
-    if bias is not None:
-        out_data += bias.data.reshape(1, f, 1, 1)
+    backend, fwd = kernels.resolve("conv2d_forward")
+    _, bwd = kernels.resolve("conv2d_backward", backend)
+    out_data, ctx = fwd(
+        x.data, weight.data, None if bias is None else bias.data, stride, pad, oh, ow
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g, out=None):
         with profiled("conv2d.backward"):
-            g2 = g.reshape(n, f, oh * ow)  # (N, F, OH*OW)
-            if bias is not None and bias.requires_grad:
-                out._accumulate(bias, g2.sum(axis=(0, 2)))
-            if weight.requires_grad:
-                # Sum over batch of (F, OH*OW) @ (OH*OW, C*KH*KW)
-                gw = np.einsum("nfo,nko->fk", g2, cols, optimize=True)
-                out._accumulate(weight, gw.reshape(weight.shape))
-            if x.requires_grad:
-                gcols = np.matmul(w_flat.T, g2)  # (N, C*KH*KW, OH*OW)
-                out._accumulate(x, _col2im(gcols, x.shape, kh, kw, stride, stride, oh, ow, pad))
+            gx, gw, gb = bwd(
+                g,
+                ctx,
+                x.requires_grad,
+                weight.requires_grad,
+                bias is not None and bias.requires_grad,
+            )
+            if gb is not None:
+                out._accumulate(bias, gb)
+            if gw is not None:
+                out._accumulate(weight, gw)
+            if gx is not None:
+                out._accumulate(x, gx)
 
     out = Tensor.from_op(out_data, parents, lambda g: backward(g, out))
     return out
@@ -227,32 +110,18 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
 def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) square windows."""
     stride = stride or kernel
-    n, c, h, w = x.shape
+    _, _, h, w = x.shape
     oh = conv_out_size(h, kernel, stride, 0)
     ow = conv_out_size(w, kernel, stride, 0)
 
-    # Stack window candidates along a new axis and take the argmax.
-    # repro: noqa[RPA002] forward output staging; the argmax result aliases it
-    cand = np.empty((kernel * kernel, n, c, oh, ow), dtype=x.dtype)
-    for i in range(kernel):
-        for j in range(kernel):
-            cand[i * kernel + j] = x.data[
-                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
-            ]
-    arg = cand.argmax(axis=0)  # (N, C, OH, OW), values in [0, K*K)
-    out_data = np.take_along_axis(cand, arg[None], axis=0)[0]
+    backend, fwd = kernels.resolve("max_pool2d_forward")
+    _, bwd = kernels.resolve("max_pool2d_backward", backend)
+    out_data, ctx = fwd(x.data, kernel, stride, oh, ow)
 
     def backward(g, out=None):
         if x.requires_grad:
             with profiled("pool.max.backward"):
-                xg = _acquire_workspace(x.shape, x.data.dtype)
-                for win in range(kernel * kernel):
-                    i, j = divmod(win, kernel)
-                    mask = arg == win
-                    xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
-                        g * mask
-                    )
-                out._accumulate(x, xg)
+                out._accumulate(x, bwd(g, ctx))
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
     return out
@@ -262,27 +131,18 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     """Average pooling over square windows."""
     stride = stride or kernel
-    n, c, h, w = x.shape
+    _, _, h, w = x.shape
     oh = conv_out_size(h, kernel, stride, 0)
     ow = conv_out_size(w, kernel, stride, 0)
-    inv = 1.0 / (kernel * kernel)
 
-    # repro: noqa[RPA002] op output buffer; escapes into the returned Tensor
-    out_data = np.zeros((n, c, oh, ow), dtype=x.dtype)
-    for i in range(kernel):
-        for j in range(kernel):
-            out_data += x.data[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
-    out_data *= inv
+    backend, fwd = kernels.resolve("avg_pool2d_forward")
+    _, bwd = kernels.resolve("avg_pool2d_backward", backend)
+    out_data, ctx = fwd(x.data, kernel, stride, oh, ow)
 
     def backward(g, out=None):
         if x.requires_grad:
             with profiled("pool.avg.backward"):
-                xg = _acquire_workspace(x.shape, x.data.dtype)
-                gi = g * inv
-                for i in range(kernel):
-                    for j in range(kernel):
-                        xg[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += gi
-                out._accumulate(x, xg)
+                out._accumulate(x, bwd(g, ctx))
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
     return out
@@ -291,7 +151,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
 @profiled("pool.gap.forward")
 def global_avg_pool2d(x: Tensor) -> Tensor:
     """Mean over the spatial axes: (N, C, H, W) -> (N, C)."""
-    n, c, h, w = x.shape
+    _, _, h, w = x.shape
     out_data = x.data.mean(axis=(2, 3))
     inv = 1.0 / (h * w)
 

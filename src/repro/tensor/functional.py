@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.profile import profiled
+from repro.tensor import kernels
 from repro.tensor.tensor import Tensor, unbroadcast
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "prelu",
     "dropout",
     "batch_norm",
+    "batch_norm_relu",
     "log_softmax",
     "softmax",
     "cross_entropy",
@@ -99,8 +101,45 @@ def batch_norm(
     In training mode the batch statistics are used and the running buffers
     updated in place; in eval mode the running statistics are used.  The
     backward pass implements the full BN gradient (including the dependence
-    of mean/var on x).
+    of mean/var on x).  Normalization itself runs on the kernel backend
+    selected in :mod:`repro.tensor.kernels`; batch-statistic computation and
+    running-buffer updates are backend-independent and stay here.
     """
+    axes, mu, var, g_, b_ = _bn_stats(
+        x, gamma, beta, running_mean, running_var, training, momentum
+    )
+    backend, fwd = kernels.resolve("batch_norm_forward")
+    _, bwd = kernels.resolve("batch_norm_backward", backend)
+    out_data, ctx = fwd(x.data, g_, b_, mu, var, eps)
+
+    def backward(g, out=None):
+        with profiled("batch_norm.backward"):
+            gx, ggamma, gbeta = bwd(
+                g, ctx, axes, training, x.requires_grad, gamma.requires_grad, beta.requires_grad
+            )
+            if ggamma is not None:
+                out._accumulate(gamma, ggamma)
+            if gbeta is not None:
+                out._accumulate(beta, gbeta)
+            if gx is not None:
+                out._accumulate(x, gx)
+
+    out = Tensor.from_op(out_data, (x, gamma, beta), lambda g: backward(g, out))
+    return out
+
+
+def _bn_stats(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float,
+):
+    """Batch/running statistics plus reshaped affine params (shared by the
+    plain and fused batch-norm entry points; updates running buffers in
+    place when training)."""
     axes = (0,) if x.ndim == 2 else (0, 2, 3)
     shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
     g_ = gamma.data.reshape(shape)
@@ -119,26 +158,45 @@ def batch_norm(
     else:
         mu = running_mean.reshape(shape)
         var = running_var.reshape(shape)
+    return axes, mu, var, g_, b_
 
-    inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = (x.data - mu) * inv_std
-    out_data = g_ * xhat + b_
+
+@profiled("batch_norm_relu.forward")
+def batch_norm_relu(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization immediately followed by relu, as one tape node.
+
+    Semantically identical to ``batch_norm(...).relu()`` (the ``reference``
+    kernel *is* that composition); the ``fast`` kernel folds the affine into
+    a per-channel scale/shift and clamps in place, halving the passes over
+    the activation.  Used by :class:`repro.nn.FusedBNReLU`.
+    """
+    axes, mu, var, g_, b_ = _bn_stats(
+        x, gamma, beta, running_mean, running_var, training, momentum
+    )
+    backend, fwd = kernels.resolve("bn_relu_forward")
+    _, bwd = kernels.resolve("bn_relu_backward", backend)
+    out_data, ctx = fwd(x.data, g_, b_, mu, var, eps)
 
     def backward(g, out=None):
-        with profiled("batch_norm.backward"):
-            if gamma.requires_grad:
-                out._accumulate(gamma, (g * xhat).sum(axis=axes))
-            if beta.requires_grad:
-                out._accumulate(beta, g.sum(axis=axes))
-            if x.requires_grad:
-                if training:
-                    gxhat = g * g_
-                    term1 = gxhat
-                    term2 = gxhat.mean(axis=axes, keepdims=True)
-                    term3 = xhat * (gxhat * xhat).mean(axis=axes, keepdims=True)
-                    out._accumulate(x, (term1 - term2 - term3) * inv_std)
-                else:
-                    out._accumulate(x, g * g_ * inv_std)
+        with profiled("batch_norm_relu.backward"):
+            gx, ggamma, gbeta = bwd(
+                g, ctx, axes, training, x.requires_grad, gamma.requires_grad, beta.requires_grad
+            )
+            if ggamma is not None:
+                out._accumulate(gamma, ggamma)
+            if gbeta is not None:
+                out._accumulate(beta, gbeta)
+            if gx is not None:
+                out._accumulate(x, gx)
 
     out = Tensor.from_op(out_data, (x, gamma, beta), lambda g: backward(g, out))
     return out

@@ -1,0 +1,48 @@
+"""Kernel dispatch layer: pluggable backends for the heavy tensor ops.
+
+Public API::
+
+    from repro.tensor import kernels
+
+    kernels.set_backend("reference")        # or REPRO_BACKEND=reference
+    with kernels.use_backend("threaded"):   # scoped selection
+        ...
+    kernels.set_op_backend("matmul", "fast")  # pin one op
+    backend, fn = kernels.resolve("conv2d_forward")
+
+Backends: ``reference`` (pre-dispatch numpy code verbatim; the parity
+oracle), ``fast`` (pooled workspaces, batch-flattened conv GEMM, fused
+batchnorm+relu — the default), ``threaded`` (panel-parallel GEMM sized by
+``REPRO_THREADS``).  See ``docs/kernels.md``.
+"""
+
+from repro.tensor.kernels import fast, reference, threaded  # noqa: F401 - registration
+from repro.tensor.kernels.registry import (
+    DEFAULT_BACKEND,
+    REFERENCE_BACKEND,
+    get_backend,
+    list_backends,
+    list_ops,
+    op_table,
+    register_kernel,
+    resolve,
+    set_backend,
+    set_op_backend,
+    thread_count,
+    use_backend,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "REFERENCE_BACKEND",
+    "get_backend",
+    "list_backends",
+    "list_ops",
+    "op_table",
+    "register_kernel",
+    "resolve",
+    "set_backend",
+    "set_op_backend",
+    "thread_count",
+    "use_backend",
+]

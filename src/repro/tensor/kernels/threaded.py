@@ -1,0 +1,83 @@
+"""Threaded backend: row/batch-parallel GEMM for the largest products.
+
+numpy's BLAS releases the GIL for the duration of a GEMM call, so slicing
+one large product into per-thread panels genuinely runs in parallel on
+multi-core machines.  Worker count comes from ``REPRO_THREADS`` (default:
+the CPU count); on a single-core machine every kernel degrades to the
+plain call, so the backend is registered — and parity-tested — everywhere.
+
+Only ``matmul`` is registered; every other op resolves through the
+registry's ``reference`` fallback.  Threading the scatter/gather ops is a
+non-starter: they are memory-bound strided copies that saturate one
+core's memory ports already.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.profile import profiled
+from repro.tensor.kernels.registry import register_kernel, thread_count
+
+__all__: list[str] = []
+
+#: Minimum rows (2-D) or batch entries (3-D) before splitting pays for the
+#: futures overhead.
+MIN_SPLIT_ROWS = 256
+MIN_SPLIT_BATCH = 4
+
+_POOL_LOCK = threading.Lock()
+_POOL: list = [None, 0]  # [executor, worker count]
+
+
+def _executor(workers: int) -> ThreadPoolExecutor:
+    """A process-wide executor, rebuilt only when ``REPRO_THREADS`` changes."""
+    with _POOL_LOCK:
+        pool, size = _POOL
+        if pool is None or size != workers:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-gemm")
+            _POOL[0], _POOL[1] = pool, workers
+        return pool
+
+
+def _split_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous chunks."""
+    parts = min(parts, total)
+    step = -(-total // parts)  # ceil
+    return [(lo, min(lo + step, total)) for lo in range(0, total, step)]
+
+
+@register_kernel("matmul", "threaded")
+@profiled("kernels.matmul.threaded")
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Panel-parallel matmul; falls through to plain ``@`` when too small."""
+    workers = thread_count()
+    if workers > 1 and a.dtype == b.dtype:
+        if a.ndim == 2 and b.ndim == 2 and a.shape[0] >= MIN_SPLIT_ROWS:
+            # repro: noqa[RPA002] op output buffer; escapes to the caller
+            out = np.empty((a.shape[0], b.shape[1]), dtype=a.dtype)
+            pool = _executor(workers)
+            futs = [
+                pool.submit(np.matmul, a[lo:hi], b, out=out[lo:hi])
+                for lo, hi in _split_ranges(a.shape[0], workers)
+            ]
+            for fut in futs:
+                fut.result()
+            return out
+        if a.ndim == 3 and b.ndim == 3 and a.shape[0] == b.shape[0] >= MIN_SPLIT_BATCH:
+            # repro: noqa[RPA002] op output buffer; escapes to the caller
+            out = np.empty((a.shape[0], a.shape[1], b.shape[2]), dtype=a.dtype)
+            pool = _executor(workers)
+            futs = [
+                pool.submit(np.matmul, a[lo:hi], b[lo:hi], out=out[lo:hi])
+                for lo, hi in _split_ranges(a.shape[0], workers)
+            ]
+            for fut in futs:
+                fut.result()
+            return out
+    return a @ b

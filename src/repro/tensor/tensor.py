@@ -302,15 +302,16 @@ class Tensor:
     @profiled("tensor.matmul")
     def __matmul__(self, other):
         other = self._coerce(other)
-        out_data = self.data @ other.data
+        _, mm = kernels.resolve("matmul")
+        out_data = mm(self.data, other.data)
 
         def backward(g, out=None):
             with profiled("tensor.matmul.backward"):
                 if self.requires_grad:
-                    ga = g @ np.swapaxes(other.data, -1, -2)
+                    ga = mm(g, np.swapaxes(other.data, -1, -2))
                     out._accumulate(self, unbroadcast(ga, self.shape))
                 if other.requires_grad:
-                    gb = np.swapaxes(self.data, -1, -2) @ g
+                    gb = mm(np.swapaxes(self.data, -1, -2), g)
                     out._accumulate(other, unbroadcast(gb, other.shape))
 
         out = Tensor.from_op(out_data, (self, other), lambda g: backward(g, out))
@@ -435,12 +436,13 @@ class Tensor:
         return self**0.5
 
     def relu(self):
-        mask = self.data > 0
-        out_data = self.data * mask
+        backend, fwd = kernels.resolve("relu_forward")
+        _, bwd = kernels.resolve("relu_backward", backend)
+        out_data, ctx = fwd(self.data)
 
         def backward(g, out=None):
             if self.requires_grad:
-                out._accumulate(self, g * mask)
+                out._accumulate(self, bwd(g, ctx))
 
         out = Tensor.from_op(out_data, (self,), lambda g: backward(g, out))
         return out
@@ -547,3 +549,9 @@ def pad2d(x: Tensor, pad: int) -> Tensor:
 
     out = Tensor.from_op(out_data, (x,), lambda g: backward(g, out))
     return out
+
+
+# Imported at the bottom so `import repro.tensor.tensor` works standalone:
+# the kernels package import re-enters the repro.tensor package __init__,
+# which needs the Tensor class above to exist already.
+from repro.tensor import kernels  # noqa: E402

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.profile import OpStat, PerfReport, disable, enable, is_enabled, snapshot
+from repro.tensor import kernels
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.train.trainer import Trainer
@@ -211,6 +212,8 @@ class ProfilerCallback(Callback):
             "steps": self._steps,
             "epochs": len(self.epoch_trace),
             "epoch_trace": self.epoch_trace,
+            "backend": kernels.get_backend(),
+            "threads": kernels.thread_count(),
             **self.meta,
         }
         # Sanitized runs carry checker overhead in every op; stamp them so

@@ -19,6 +19,7 @@ from repro.analyze.rules import (
     ALLOC_CALLS,
     HOT_MODULES,
     DataRebindRule,
+    DirectMatmulRule,
     HotPathAllocationRule,
     ImplicitFloat64Rule,
     LockDisciplineRule,
@@ -35,9 +36,9 @@ def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[V
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(RULE_REGISTRY) == {
-            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006"
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006", "RPA007"
         }
 
     def test_rules_carry_summary_and_rationale(self):
@@ -302,3 +303,46 @@ class TestLockDisciplineRule:
     def test_noqa_suppression(self):
         src = "startup_lock.acquire()  # repro: noqa[RPA006] held for process lifetime\n"
         assert lint(LockDisciplineRule, src, self.SERVE) == []
+
+
+class TestDirectMatmulRule:
+    NN = "src/repro/nn/example.py"
+    ANALYSIS = "src/repro/analysis/example.py"
+
+    def test_flags_np_matmul_call_in_nn(self):
+        (hit,) = lint(DirectMatmulRule, "y = np.matmul(a, b)\n", self.NN)
+        assert hit.code == "RPA007"
+        assert "kernel registry" in hit.message
+
+    @pytest.mark.parametrize("fn", ["dot", "einsum", "tensordot", "inner", "vdot"])
+    def test_flags_every_gemm_free_function(self, fn):
+        assert len(lint(DirectMatmulRule, f"y = np.{fn}(a, b)\n", self.NN)) == 1
+
+    def test_flags_matmult_on_ndarray_evidence(self):
+        # `.data` operands are raw ndarrays: the product bypasses dispatch.
+        assert len(lint(DirectMatmulRule, "y = x.data @ w\n", self.NN)) == 1
+        assert len(lint(DirectMatmulRule, "y = np.ones(3) @ w\n", self.NN)) == 1
+
+    def test_bare_tensor_matmult_not_flagged_in_nn(self):
+        # Tensor.__matmul__ already dispatches; a bare `x @ y` in nn/ is fine.
+        assert lint(DirectMatmulRule, "y = x @ w\n", self.NN) == []
+
+    def test_every_matmult_flagged_in_analysis(self):
+        # analysis/ never holds Tensors, so every `@` there is an ndarray
+        # product (the PCA helpers are the baselined exceptions).
+        assert len(lint(DirectMatmulRule, "y = x @ w\n", self.ANALYSIS)) == 1
+
+    def test_core_dir_guarded(self):
+        assert len(lint(DirectMatmulRule, "y = np.dot(a, b)\n", "src/repro/core/x.py")) == 1
+
+    def test_kernels_package_exempt(self):
+        # The kernels themselves are the only legitimate raw-GEMM call sites.
+        src = "y = np.matmul(a, b)\n"
+        assert lint(DirectMatmulRule, src, "src/repro/tensor/kernels/fast.py") == []
+
+    def test_noqa_suppression(self):
+        src = "y = np.matmul(a, b)  # repro: noqa[RPA007] offline helper\n"
+        assert lint(DirectMatmulRule, src, self.NN) == []
+
+    def test_non_numpy_dot_not_flagged(self):
+        assert lint(DirectMatmulRule, "s = text.dot(thing)\n", self.NN) == []

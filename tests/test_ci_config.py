@@ -244,6 +244,57 @@ class TestPerfGateWiring:
             assert report.ops[op].total_seconds > 0
 
 
+class TestKernelGateWiring:
+    """The bench-smoke job must also regenerate the kernel micro-bench and
+    gate the fast backend's speedups against the committed baseline."""
+
+    def test_baseline_stashed_before_bench_regenerates_it(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        runs = [s.get("run", "") for s in steps]
+        stash = next(i for i, r in enumerate(runs) if "perf_kernels.baseline.json" in r)
+        bench = next(i for i, r in enumerate(runs) if "repro kernels --bench" in r)
+        gate = next(
+            i for i, r in enumerate(runs)
+            if "perf_kernels.baseline.json" in r and "check_perf_report.py" in r
+        )
+        assert stash < bench < gate
+
+    def test_gate_normalizes_by_reference_and_gates_speedups(self, workflow):
+        runs = " ".join(s.get("run", "") for s in workflow["jobs"]["bench-smoke"]["steps"])
+        assert "--normalize kernels.conv2d_forward.reference" in runs
+        # Kernel minima are sub-millisecond; the default noise floor would
+        # silently skip every op, so the job must zero it.
+        assert "--min-seconds 0.0" in runs
+        assert "--gate-meta speedup_conv_gemm:1.1" in runs
+        assert "--gate-meta speedup_bn_relu:1.2" in runs
+        assert "--gate-meta speedup_conv_forward:1.0" in runs
+
+    def test_tests_job_runs_parity_suite_on_reference_backend(self, workflow):
+        job = workflow["jobs"]["tests"]
+        env = [s.get("env", {}) for s in job["steps"]]
+        assert {"REPRO_BACKEND": "reference"} in env
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "test_kernels_parity.py" in runs
+
+    def test_committed_kernel_baseline_exists_and_has_gated_ops(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "perf_kernels.json"
+        assert path.is_file(), "committed kernel bench baseline missing"
+        report = PerfReport.load(path)
+        for op in (
+            "kernels.matmul.reference",
+            "kernels.matmul.fast",
+            "kernels.conv2d_forward.reference",
+            "kernels.conv2d_forward.fast",
+            "kernels.bn_relu_forward.reference",
+            "kernels.bn_relu_forward.fast",
+        ):
+            assert op in report.ops, op
+            assert report.ops[op].total_seconds > 0
+        assert report.meta["speedup_conv_gemm"] >= 1.1
+        assert report.meta["speedup_bn_relu"] >= 1.2
+        assert report.meta["speedup_conv_forward"] >= 1.0
+
+
 class TestCheckPerfReportNormalize:
     def test_normalize_cancels_machine_speed(self):
         mod = _load_checker()

@@ -69,3 +69,27 @@ class TestCommands:
             "--epochs", "2", "--train-size", "300", "--freeze-epoch", "1",
         ])
         assert code == 0
+
+
+class TestKernelsCommand:
+    def test_lists_dispatch_table(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for op in ("matmul", "conv2d_forward", "bn_relu_forward"):
+            assert op in out
+        assert "reference" in out
+        assert "active backend:" in out
+
+    def test_bench_writes_perf_report(self, tmp_path, capsys):
+        from repro.profile import PerfReport
+
+        out_path = tmp_path / "perf_kernels.json"
+        assert main(["kernels", "--bench", "--rounds", "2", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "vs reference" in out
+        report = PerfReport.load(out_path)
+        assert "kernels.matmul.reference" in report.ops
+        assert "kernels.conv2d_forward.fast" in report.ops
+        for meta_key in ("speedup_conv_gemm", "speedup_bn_relu", "speedup_conv_forward"):
+            assert isinstance(report.meta[meta_key], float)
+        assert report.meta["rounds"] == 2

@@ -230,6 +230,36 @@ class TestPoolWorkspace:
     """max/avg pooling backward buffers come from the conv workspace pool."""
 
     @pytest.mark.parametrize("pool_fn", [max_pool2d, avg_pool2d])
+    def test_pool_forward_reuses_cached_workspace(self, rng, pool_fn):
+        """The fast backend's pooling *forward* scratch (window candidates /
+        accumulation target) also comes from the pool: repeated steps over
+        the same shape must climb ``conv.workspace_hits``."""
+        from repro import profile
+        from repro.tensor import kernels, no_grad
+        from repro.tensor.conv import clear_workspace_cache
+
+        clear_workspace_cache()
+        was_enabled = profile.is_enabled()
+        profile.enable()
+        try:
+            with kernels.use_backend("fast"), no_grad():
+                before = profile.snapshot()["counters"]
+                for _ in range(4):
+                    out = pool_fn(rand_tensor(rng, (2, 3, 8, 8)), 2)
+                    del out  # release any pooled output back to the pool
+                after = profile.snapshot()["counters"]
+            hits = after.get("conv.workspace_hits", 0) - before.get("conv.workspace_hits", 0)
+            misses = after.get("conv.workspace_misses", 0) - before.get(
+                "conv.workspace_misses", 0
+            )
+        finally:
+            if not was_enabled:
+                profile.disable()
+            clear_workspace_cache()
+        assert misses >= 1  # first forward allocates
+        assert hits >= 2  # later forwards reuse the freed buffer
+
+    @pytest.mark.parametrize("pool_fn", [max_pool2d, avg_pool2d])
     def test_pool_backward_reuses_cached_workspace(self, rng, pool_fn):
         from repro import profile
         from repro.tensor.conv import clear_workspace_cache

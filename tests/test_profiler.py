@@ -183,6 +183,15 @@ class TestProfilerCallback:
         assert loaded.meta["steps"] == cb.report.meta["steps"] == 4
         assert len(loaded.meta["epoch_trace"]) == 1
 
+    def test_report_is_backend_tagged(self):
+        from repro.tensor import kernels
+
+        cb = ProfilerCallback(report_name="tagged")
+        with kernels.use_backend("reference"):
+            self._fit(cb)
+        assert cb.report.meta["backend"] == "reference"
+        assert cb.report.meta["threads"] == kernels.thread_count()
+
     def test_profiling_does_not_change_numerics(self):
         digest_plain = weights_digest(self._fit(None))
         digest_profiled = weights_digest(self._fit(ProfilerCallback(report_name="d")))
