@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Data-parallel scaling bench: N-worker vs single-worker throughput.
+
+Thin entry point over :mod:`repro.parallel.bench` so CI (and humans) can run
+the bench without installing the package::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --workers 2 --out benchmarks/results/perf_parallel.json
+
+The emitted report is gated in the ``bench-smoke`` CI job via
+``scripts/check_perf_report.py --normalize parallel.step.1w`` plus — on
+multi-core runners only — ``--gate-meta scaling_efficiency_2w:0.75``; see
+``docs/parallel.md``.
+"""
+
+import sys
+from pathlib import Path
+
+_src = Path(__file__).resolve().parent.parent / "src"
+if _src.is_dir() and str(_src) not in sys.path:
+    sys.path.insert(0, str(_src))
+
+from repro.parallel.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,10 @@
-"""Repo-specific lint rules (RPA001-RPA007).
+"""Repo-specific lint rules (RPA001-RPA008).
 
 Each rule encodes one invariant the flat-weight-plane / workspace-pool /
 deterministic-regeneration design depends on (RPA006 guards the serving
-layer's lock discipline, RPA007 the kernel-dispatch boundary).  See
-``docs/static-analysis.md`` for the full catalog with rationale and the
-suppression syntax.
+layer's lock discipline, RPA007 the kernel-dispatch boundary, RPA008 the
+process/shared-memory boundary).  See ``docs/static-analysis.md`` for the
+full catalog with rationale and the suppression syntax.
 """
 
 from __future__ import annotations
@@ -27,6 +27,7 @@ __all__ = [
     "MissingProfiledRule",
     "LockDisciplineRule",
     "DirectMatmulRule",
+    "MultiprocessingBoundaryRule",
     "HOT_MODULES",
     "ALLOC_CALLS",
 ]
@@ -535,3 +536,75 @@ class DirectMatmulRule(Rule):
                 if fn is not None and fn.startswith(("np.", "numpy.")):
                     return True
         return False
+
+
+@register_rule
+class MultiprocessingBoundaryRule(Rule):
+    """RPA008: direct ``multiprocessing`` primitives outside ``repro.parallel``.
+
+    Process forking and shared-memory segments have lifecycle obligations —
+    barrier teardown on crash, ``shm`` close/unlink ownership, resource-
+    tracker hygiene, ``os._exit`` discipline in forked children — that
+    ``repro.parallel`` centralizes (mirroring RPA006, which keeps lock
+    discipline inside ``repro.serve``).  A stray ``multiprocessing`` import
+    elsewhere either duplicates that machinery or leaks segments/zombies on
+    the failure paths the parallel package already handles.  Route process
+    parallelism through :class:`repro.parallel.ParallelTrainer` /
+    :class:`repro.parallel.SharedArena` instead.
+    """
+
+    code = "RPA008"
+    summary = "multiprocessing primitives belong in repro.parallel"
+    rationale = (
+        "Fork/shared-memory lifecycle (barrier aborts, shm unlink "
+        "ownership, child exit discipline) is centralized in "
+        "repro.parallel; ad-hoc multiprocessing use elsewhere leaks "
+        "segments or hangs on worker crashes."
+    )
+
+    #: The designated home for process/shared-memory lifecycle code.
+    allowed_dirs = ("parallel/",)
+
+    #: Bare process-spawn syscalls count too.
+    _FORK_CALLS = ("os.fork", "os.forkpty")
+
+    def _applies(self) -> bool:
+        return not any(d in self.src.relpath for d in self.allowed_dirs)
+
+    @staticmethod
+    def _is_mp(module: str | None) -> bool:
+        return module is not None and (
+            module == "multiprocessing" or module.startswith("multiprocessing.")
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._applies():
+            for alias in node.names:
+                if self._is_mp(alias.name):
+                    self.report(
+                        node,
+                        f"`import {alias.name}` outside repro.parallel; use "
+                        "ParallelTrainer/SharedArena (RPA008)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._applies() and self._is_mp(node.module):
+            names = ", ".join(alias.name for alias in node.names)
+            self.report(
+                node,
+                f"`from {node.module} import {names}` outside repro.parallel; "
+                "use ParallelTrainer/SharedArena (RPA008)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._applies():
+            name = dotted_name(node.func)
+            if name in self._FORK_CALLS:
+                self.report(
+                    node,
+                    f"`{name}()` outside repro.parallel; forked children need "
+                    "the parallel package's exit/cleanup discipline",
+                )
+        self.generic_visit(node)

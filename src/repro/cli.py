@@ -128,12 +128,22 @@ def cmd_train(args: argparse.Namespace) -> int:
         callbacks.append(profiler)
 
     sanitize = True if args.sanitize else None  # None defers to REPRO_SANITIZE
-    trainer = Trainer(model, opt, schedule=schedule, callbacks=callbacks,
-                      patience=args.patience, sanitize=sanitize)
+    if args.workers > 1:
+        from repro.parallel import ParallelTrainer
+
+        trainer = ParallelTrainer(model, opt, schedule=schedule, callbacks=callbacks,
+                                  patience=args.patience, sanitize=sanitize,
+                                  workers=args.workers, microbatch=args.microbatch,
+                                  prefetch=args.prefetch)
+        print(f"data-parallel: {args.workers} workers, prefetch depth {args.prefetch}")
+    else:
+        trainer = Trainer(model, opt, schedule=schedule, callbacks=callbacks,
+                          patience=args.patience, sanitize=sanitize)
     if trainer.sanitize:
         print("runtime sanitizers: ON (plane integrity, grad tripwire, pool poisoning)")
     hist = trainer.fit(
-        DataLoader(train, args.batch_size, seed=1), test, epochs=args.epochs, verbose=True
+        DataLoader(train, args.batch_size, seed=1, drop_last=args.workers > 1),
+        test, epochs=args.epochs, verbose=True
     )
     if profiler is not None and profiler.report is not None:
         print(f"perf report written to {args.perf_out}")
@@ -371,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--freeze-epoch", type=int, default=0)
     p_train.add_argument("--patience", type=int, default=None)
     p_train.add_argument("--seed", type=int, default=42)
+    p_train.add_argument("--workers", type=int, default=1,
+                         help="data-parallel worker processes (power of two; "
+                              ">1 trains with repro.parallel.ParallelTrainer)")
+    p_train.add_argument("--microbatch", type=int, default=None,
+                         help="microbatch size for the deterministic gradient "
+                              "reduction (default: batch-size / workers)")
+    p_train.add_argument("--prefetch", type=int, default=2,
+                         help="per-rank input-pipeline depth (0 disables "
+                              "prefetching; 2 = double buffering)")
     p_train.add_argument("--sanitize", action="store_true",
                          help="run under the runtime invariant sanitizers "
                               "(also enabled by REPRO_SANITIZE=1)")

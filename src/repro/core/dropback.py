@@ -198,6 +198,17 @@ class DropBack(Optimizer):
             p.data is v for (_, p), v in zip(self._prunable, self._views)
         )
 
+    def rebind_plane(self) -> None:
+        """Re-resolve the cached plane views after an ``adopt_plane``.
+
+        The data-parallel trainer re-homes the model's weight plane into
+        (and later out of) a shared-memory arena; without this refresh the
+        per-step identity checks in :meth:`_direct` would see stale views
+        and silently degrade every step to the gather/scatter path.
+        """
+        self._views = [p.data for _, p in self._prunable]
+        self._plane_slice = self._resolve_plane_slice()
+
     # ------------------------------------------------------------------ #
     # properties
     # ------------------------------------------------------------------ #

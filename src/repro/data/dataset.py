@@ -87,8 +87,11 @@ class DataLoader:
     shuffle:
         Reshuffle example order each epoch.
     seed:
-        Seed for the shuffle generator (epoch order is still different each
-        epoch, but the whole sequence is reproducible).
+        Seed for the shuffle generator.  The order for epoch ``e`` is a pure
+        function of ``(seed, e)`` — see :meth:`epoch_order` — so any number
+        of independent iterators (a prefetching wrapper, per-rank loaders in
+        data-parallel training, a fresh loader in a new process) derive the
+        exact same batch sequence without sharing generator state.
     drop_last:
         Drop a trailing batch smaller than ``batch_size``.
     """
@@ -107,13 +110,33 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self._epoch = 0
 
     def __len__(self) -> int:
         n = len(self.dataset)
         if self.drop_last:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """Example order for ``epoch`` — a pure function of ``(seed, epoch)``.
+
+        Unlike a stateful generator advanced by each ``__iter__``, this
+        derivation is independent of how many times (or in what
+        interleaving) the loader has been consumed, which is what makes a
+        prefetching iterator and the synchronous iterator — or N
+        data-parallel ranks each holding their own loader — agree bit-for-bit
+        on the same sequence.
+        """
+        n = len(self.dataset)
+        if not self.shuffle:
+            return np.arange(n)
+        return np.random.default_rng((self.seed, int(epoch))).permutation(n)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Position the loader so the next ``__iter__`` yields ``epoch``'s order."""
+        self._epoch = int(epoch)
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
@@ -124,7 +147,8 @@ class DataLoader:
                 f"dataset {self.dataset.name!r} images are "
                 f"{self.dataset.images.dtype}; the model boundary is float32"
             )
-        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        order = self.epoch_order(self._epoch)
+        self._epoch += 1
         end = n - (n % self.batch_size) if self.drop_last else n
         for start in range(0, end, self.batch_size):
             idx = order[start : start + self.batch_size]

@@ -124,17 +124,34 @@ class AugmentedLoader:
     transform:
         Callable ``(images, rng) -> images``.
     seed:
-        Seed for the augmentation generator.
+        Seed for the augmentation generator.  Like
+        :meth:`repro.data.DataLoader.epoch_order`, the draw stream for epoch
+        ``e`` is a pure function of ``(seed, e)`` rather than shared
+        generator state, so an asynchronous (prefetching) consumer and a
+        synchronous one apply bit-identical augmentations.
     """
 
     def __init__(self, loader, transform: Callable, seed: int = 0):
         self.loader = loader
         self.transform = transform
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self._epoch = 0
 
     def __len__(self) -> int:
         return len(self.loader)
 
+    def epoch_rng(self, epoch: int) -> np.random.Generator:
+        """The augmentation generator for ``epoch`` (pure in ``(seed, epoch)``)."""
+        return np.random.default_rng((self.seed, int(epoch)))
+
+    def set_epoch(self, epoch: int) -> None:
+        """Position the wrapper (and its loader, if it supports it)."""
+        self._epoch = int(epoch)
+        if hasattr(self.loader, "set_epoch"):
+            self.loader.set_epoch(epoch)
+
     def __iter__(self):
+        rng = self.epoch_rng(self._epoch)
+        self._epoch += 1
         for x, y in self.loader:
-            yield self.transform(x, self._rng), y
+            yield self.transform(x, rng), y

@@ -82,6 +82,27 @@ class Optimizer(abc.ABC):
         for p in self.params:
             p.grad = None
 
+    def load_flat_grad(self, flat) -> None:
+        """Install gradients from a flat, plane-indexed buffer.
+
+        ``flat`` is indexed by the global flat index space (same layout as
+        the weight plane); each parameter's gradient becomes a zero-copy
+        reshaped view of its ``[base_index, base_index + size)`` span.  The
+        data-parallel trainer uses this to hand the deterministically
+        reduced global gradient to an unmodified ``step()``.
+        """
+        for p in self.params:
+            p.grad = flat[p.base_index : p.base_index + p.size].reshape(p.shape)
+
+    def rebind_plane(self) -> None:
+        """Refresh cached plane views after the model's plane was re-homed.
+
+        ``repro.parallel`` moves the weight plane into (and back out of)
+        shared memory via ``adopt_plane``; optimizers that cache views into
+        the plane override this to re-resolve them.  Stateless optimizers
+        need nothing.
+        """
+
     @abc.abstractmethod
     def step(self) -> None:
         """Apply one update using the gradients currently on the parameters."""

@@ -1,0 +1,101 @@
+"""Asynchronous input pipeline: background prefetch with double buffering.
+
+``PrefetchLoader`` wraps any batch iterable (``DataLoader``,
+``AugmentedLoader``, a per-rank microbatch generator) and materializes up to
+``depth`` upcoming batches on a background thread, so index gathering and
+augmentation overlap the compute step instead of serializing with it.  The
+default ``depth=2`` is classic double buffering: one batch in flight to the
+consumer, one being prepared.
+
+Because the wrapped loaders derive their order and augmentation draws as
+pure functions of ``(seed, epoch)`` (see ``DataLoader.epoch_order``),
+prefetching changes *when* batches are built but never *what* they contain:
+the async and synchronous iterators yield bit-identical sequences, which
+``tests/test_parallel.py`` pins.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["PrefetchLoader"]
+
+_DONE = object()
+
+
+class PrefetchLoader:
+    """Iterate ``loader`` through a bounded background-thread buffer.
+
+    Parameters
+    ----------
+    loader:
+        Any iterable of batches.  Each ``__iter__`` of the wrapper starts a
+        fresh ``iter(loader)`` on its own daemon thread.
+    depth:
+        Maximum prefetched batches (>= 1); 2 = double buffering.
+
+    Exceptions raised by the producer (including inside the wrapped
+    loader's transforms) are re-raised in the consumer.  Abandoning the
+    iterator early — ``break``, or closing the generator — stops and joins
+    the producer thread; no thread outlives its iteration.
+    """
+
+    def __init__(self, loader, depth: int = 2):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.loader = loader
+        self.depth = int(depth)
+
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Forward to the wrapped loader, if it is epoch-addressable."""
+        if hasattr(self.loader, "set_epoch"):
+            self.loader.set_epoch(epoch)
+
+    def __iter__(self):
+        buf: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def put(item) -> bool:
+            # Bounded put that gives up once the consumer has gone away.
+            while not stop.is_set():
+                try:
+                    buf.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def produce() -> None:
+            try:
+                for item in self.loader:
+                    if not put(item):
+                        return
+                put(_DONE)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in consumer
+                put(exc)
+
+        worker = threading.Thread(
+            target=produce, name="repro-prefetch", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                item = buf.get()
+                if item is _DONE:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            # Unblock a producer stuck on a full queue, then reap it.
+            while True:
+                try:
+                    buf.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=5.0)

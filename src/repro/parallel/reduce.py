@@ -1,0 +1,117 @@
+"""Deterministic pairwise tree reduction.
+
+Floating-point addition is not associative, so the *order* in which
+per-microbatch gradients are combined is part of the numerical contract:
+data-parallel training is only bit-reproducible — and only bit-identical
+across worker counts — if every configuration sums the same leaves in the
+same tree shape.
+
+The canonical tree used throughout :mod:`repro.parallel` splits a span of
+``n`` leaves at ``mid = n // 2`` and recurses::
+
+    T(a_0 .. a_{n-1}) = T(a_0 .. a_{mid-1}) + T(a_mid .. a_{n-1})
+
+**Alignment property.**  If ``N`` is a power of two dividing ``n``, the top
+``log2(N)`` levels of this tree split exactly on multiples of ``n / N``:
+at every one of those levels the span length is ``2**(k-i) * (n/N)`` for
+some ``i < k = log2(N)``, which is even, so ``mid`` lands on a block
+boundary.  Each rank can therefore tree-sum its own contiguous block of
+``n / N`` leaves locally, and a rank-ordered tree combine of the ``N``
+partials reproduces the single-sequence tree **bitwise** — the basis for
+the cross-worker-count identity tests in ``tests/test_parallel.py``.
+
+Note that the common streaming alternative (an adjacent-pair / binary-carry
+stack) does *not* have this property: for ``n = 6`` it yields
+``((a0+a1)+(a2+a3)) + (a4+a5)`` as one sequence but
+``((a0+a1)+a2) + ((a3+a4)+a5)`` when split across two ranks, which differ
+in the last bit for generic float inputs.  Hence the explicit mid-split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["tree_sum", "tree_sum_range", "tree_sum_scalars"]
+
+
+def _tree(seq: Sequence[np.ndarray]) -> np.ndarray:
+    n = len(seq)
+    if n == 1:
+        return seq[0]
+    mid = n // 2
+    return np.add(_tree(seq[:mid]), _tree(seq[mid:]))
+
+
+def tree_sum(arrays: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+    """Sum ``arrays`` with the canonical mid-split pairwise tree.
+
+    Inputs are never mutated; internal nodes allocate.  Intended for the
+    rank-combine on rank 0, where the operand count is the (small) worker
+    count — use :func:`tree_sum_range` for long streaming reductions.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError("tree_sum of an empty sequence")
+    total = _tree(arrays)
+    if out is None:
+        # A length-1 input short-circuits to the operand itself; copy so the
+        # caller always owns the result.
+        return np.array(total, copy=True) if total is arrays[0] else total
+    np.copyto(out, total)
+    return out
+
+
+def tree_sum_range(
+    count: int,
+    leaf: Callable[[int], np.ndarray],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Tree-sum ``leaf(0) .. leaf(count-1)`` with leaves produced on demand.
+
+    Leaves are requested strictly in index order (depth-first left to
+    right), so ``leaf`` may be an expensive sequential producer — e.g. "run
+    forward/backward on microbatch ``i`` and return the flat gradient".
+    ``leaf`` must return an array the reduction may consume (accumulation
+    happens in place on returned buffers); at most ``O(log count)`` partial
+    sums are held at once.
+
+    Bitwise identical to ``tree_sum([leaf(i) for i in range(count)])``.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+
+    def rec(lo: int, hi: int) -> np.ndarray:
+        if hi - lo == 1:
+            return leaf(lo)
+        mid = lo + (hi - lo) // 2
+        left = rec(lo, mid)
+        right = rec(mid, hi)
+        np.add(left, right, out=left)
+        return left
+
+    total = rec(0, count)
+    if out is None:
+        return total
+    np.copyto(out, total)
+    return out
+
+
+def tree_sum_scalars(values: Sequence[float]) -> float:
+    """Canonical tree sum over python/numpy scalars (same split rule).
+
+    Used for loss aggregation so the reported global-batch loss is also
+    bit-identical across worker counts, not just the gradients.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("tree_sum_scalars of an empty sequence")
+
+    def rec(lo: int, hi: int) -> float:
+        if hi - lo == 1:
+            return float(vals[lo])
+        mid = lo + (hi - lo) // 2
+        return rec(lo, mid) + rec(mid, hi)
+
+    return rec(0, len(vals))

@@ -16,6 +16,7 @@ Used by ``repro kernels --bench`` and the bench-smoke CI job.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -94,6 +95,14 @@ _SPEEDUP_METAS = {
     "speedup_bn_relu": "bn_relu_forward",
 }
 
+#: meta name -> op whose reference/threaded ratio it records.  Only gated
+#: on multi-core runners (see ci.yml): with one CPU the threaded split is
+#: pure overhead, so the meta is recorded for observability but a floor
+#: would be dishonest.  ``meta.cpu_count`` says which regime produced it.
+_THREADED_METAS = {
+    "speedup_threaded_gemm": "matmul",
+}
+
 
 def _min_seconds(fn, args, rounds: int, warmup: int = 2) -> float:
     """Best-of-``rounds`` wall time for one kernel call (min rejects
@@ -133,6 +142,7 @@ def bench_kernels(rounds: int = BENCH_ROUNDS, seed: int = 0) -> PerfReport:
         "seed": seed,
         "active_backend": registry.get_backend(),
         "threads": registry.thread_count(),
+        "cpu_count": os.cpu_count() or 1,
         "shapes": {
             "conv": [_CONV_N, _CONV_C, _CONV_F, _CONV_HW, _CONV_K, _CONV_PAD],
             "bn_relu": list(_BN_SHAPE),
@@ -143,6 +153,11 @@ def bench_kernels(rounds: int = BENCH_ROUNDS, seed: int = 0) -> PerfReport:
         fast = minima.get((op, "fast"))
         if ref and fast:
             meta[meta_name] = round(ref / fast, 4)
+    for meta_name, op in _THREADED_METAS.items():
+        ref = minima.get((op, registry.REFERENCE_BACKEND))
+        threaded = minima.get((op, "threaded"))
+        if ref and threaded:
+            meta[meta_name] = round(ref / threaded, 4)
     return PerfReport(name="kernels", ops=ops, meta=meta)
 
 

@@ -214,6 +214,8 @@ class ProfilerCallback(Callback):
             "epoch_trace": self.epoch_trace,
             "backend": kernels.get_backend(),
             "threads": kernels.thread_count(),
+            # Data-parallel rank count (ParallelTrainer); 1 for Trainer.
+            "workers": int(getattr(trainer, "workers", 1)),
             **self.meta,
         }
         # Sanitized runs carry checker overhead in every op; stamp them so

@@ -153,7 +153,8 @@ class TestFindingsDocument:
         }
         assert doc["violations"][0]["fingerprint"] == "RPA001:src/repro/x.py:f"
         assert set(doc["rules"]) == {
-            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006", "RPA007"
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
+            "RPA007", "RPA008",
         }
 
 

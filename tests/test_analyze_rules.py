@@ -24,6 +24,7 @@ from repro.analyze.rules import (
     ImplicitFloat64Rule,
     LockDisciplineRule,
     MissingProfiledRule,
+    MultiprocessingBoundaryRule,
     UnseededRandomRule,
 )
 
@@ -36,9 +37,10 @@ def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[V
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert set(RULE_REGISTRY) == {
-            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006", "RPA007"
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
+            "RPA007", "RPA008",
         }
 
     def test_rules_carry_summary_and_rationale(self):
@@ -346,3 +348,38 @@ class TestDirectMatmulRule:
 
     def test_non_numpy_dot_not_flagged(self):
         assert lint(DirectMatmulRule, "s = text.dot(thing)\n", self.NN) == []
+
+
+class TestMultiprocessingBoundaryRule:
+    TRAIN = "src/repro/train/example.py"
+    PARALLEL = "src/repro/parallel/example.py"
+
+    def test_flags_plain_import(self):
+        (hit,) = lint(MultiprocessingBoundaryRule, "import multiprocessing\n", self.TRAIN)
+        assert hit.code == "RPA008"
+        assert "repro.parallel" in hit.message
+
+    def test_flags_submodule_import(self):
+        src = "import multiprocessing.shared_memory\n"
+        assert len(lint(MultiprocessingBoundaryRule, src, self.TRAIN)) == 1
+
+    def test_flags_from_import(self):
+        src = "from multiprocessing import shared_memory, Barrier\n"
+        (hit,) = lint(MultiprocessingBoundaryRule, src, self.TRAIN)
+        assert "shared_memory" in hit.message
+
+    def test_flags_os_fork_call(self):
+        (hit,) = lint(MultiprocessingBoundaryRule, "pid = os.fork()\n", self.TRAIN)
+        assert "os.fork" in hit.message
+
+    def test_parallel_package_exempt(self):
+        src = "from multiprocessing import shared_memory\npid = os.fork()\n"
+        assert lint(MultiprocessingBoundaryRule, src, self.PARALLEL) == []
+
+    def test_unrelated_imports_not_flagged(self):
+        src = "import threading\nfrom queue import Queue\nos.getpid()\n"
+        assert lint(MultiprocessingBoundaryRule, src, self.TRAIN) == []
+
+    def test_noqa_suppression(self):
+        src = "import multiprocessing  # repro: noqa[RPA008] doc example\n"
+        assert lint(MultiprocessingBoundaryRule, src, self.TRAIN) == []

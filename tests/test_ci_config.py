@@ -294,6 +294,80 @@ class TestKernelGateWiring:
         assert report.meta["speedup_bn_relu"] >= 1.2
         assert report.meta["speedup_conv_forward"] >= 1.0
 
+    def test_threaded_gate_is_conditional_on_core_count(self, workflow):
+        # The threaded-GEMM floor is only honest with >= 2 CPUs: on a
+        # single core the thread split is pure overhead.  The gate step
+        # must run the bench with REPRO_THREADS and skip below 2 cores.
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        run = next(
+            s["run"] for s in steps
+            if "speedup_threaded_gemm" in s.get("run", "")
+        )
+        assert "nproc" in run
+        assert "REPRO_THREADS" in run
+        assert "--gate-meta speedup_threaded_gemm:1.05" in run
+        assert "skip" in run  # the below-2-cores branch says so
+
+    def test_committed_kernel_baseline_records_threaded_meta(self):
+        report = PerfReport.load(
+            REPO_ROOT / "benchmarks" / "results" / "perf_kernels.json"
+        )
+        # Recorded for observability on every host; only *gated* on
+        # multi-core runners, so no floor assertion here.
+        assert "speedup_threaded_gemm" in report.meta
+        assert report.meta["cpu_count"] >= 1
+        assert "kernels.matmul.threaded" in report.ops
+
+
+class TestParallelGateWiring:
+    """The bench-smoke job must regenerate the data-parallel scaling bench
+    and gate it against the committed baseline, applying the
+    scaling-efficiency floor only on multi-core runners."""
+
+    def test_baseline_stashed_before_bench_regenerates_it(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        runs = [s.get("run", "") for s in steps]
+        stash = next(i for i, r in enumerate(runs) if "perf_parallel.baseline.json" in r)
+        bench = next(i for i, r in enumerate(runs) if "bench_parallel.py" in r)
+        gate = next(
+            i for i, r in enumerate(runs)
+            if "perf_parallel.baseline.json" in r and "check_perf_report.py" in r
+        )
+        assert stash < bench < gate
+
+    def test_gate_normalizes_and_floors_efficiency_conditionally(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        run = next(
+            s["run"] for s in steps
+            if "check_perf_report.py" in s.get("run", "")
+            and "perf_parallel.baseline.json" in s.get("run", "")
+        )
+        # Ratios normalized by the 1-worker anchor: machine-independent.
+        assert "--normalize parallel.step.1w" in run
+        assert "--min-seconds 0.0" in run
+        # The >= 1.5x-at-2-workers acceptance floor (0.75 efficiency),
+        # applied only where two cores actually exist.
+        assert "scaling_efficiency_2w:0.75" in run
+        assert "nproc" in run and "skip" in run
+
+    def test_committed_parallel_baseline_exists_and_is_self_describing(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "perf_parallel.json"
+        assert path.is_file(), "committed parallel bench baseline missing"
+        report = PerfReport.load(path)
+        for op in ("parallel.step.1w", "parallel.step.2w",
+                   "parallel.rank0.compute", "parallel.rank1.compute"):
+            assert op in report.ops, op
+            assert report.ops[op].total_seconds > 0
+        # Self-describing: which regime produced it, and the efficiency it
+        # measured there.  NO floor assertion — a 1-CPU host honestly
+        # reports sub-0.75 efficiency; the floor lives in CI where nproc
+        # is known.
+        assert report.meta["workers"] == 2
+        assert report.meta["cpu_count"] >= 1
+        assert 0.0 < report.meta["scaling_efficiency_2w"] <= 1.0
+        # Identical numerical work in both runs: same microbatch.
+        assert report.meta["batch_size"] % report.meta["microbatch"] == 0
+
 
 class TestCheckPerfReportNormalize:
     def test_normalize_cancels_machine_speed(self):

@@ -28,6 +28,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--optimizer", "adam"])
 
+    def test_train_parallel_knobs(self):
+        args = build_parser().parse_args(["train"])
+        assert args.workers == 1 and args.microbatch is None and args.prefetch == 2
+        args = build_parser().parse_args(
+            ["train", "--workers", "2", "--microbatch", "16", "--prefetch", "0"]
+        )
+        assert (args.workers, args.microbatch, args.prefetch) == (2, 16, 0)
+
 
 class TestCommands:
     def test_info_lists_all_models(self, capsys):
@@ -53,6 +61,17 @@ class TestCommands:
         ])
         assert code == 0
         out = capsys.readouterr().out
+        assert "best validation error" in out
+
+    def test_train_parallel_smoke(self, capsys):
+        code = main([
+            "train", "--model", "mnist-100-100", "--optimizer", "dropback",
+            "--epochs", "1", "--train-size", "256", "--batch-size", "64",
+            "--workers", "2", "--compression", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data-parallel: 2 workers" in out
         assert "best validation error" in out
 
     def test_train_conv_model_smoke(self, capsys):
