@@ -143,6 +143,60 @@ def budget_for_ratio(model: Module, compression: float) -> int:
     return max(1, int(round(model.num_parameters() / compression)))
 
 
+#: The tracked-density grid shared by the sparse-kernel parity tests,
+#: ``bench_sparse.py``, and the serving microbenches: the paper's extreme
+#: budgets (1%, 5%), the dispatch cutoff boundary (25%), and a clearly
+#: dense point (90%) that must fall back to the fast kernels.
+DENSITY_GRID = (0.01, 0.05, 0.25, 0.9)
+
+
+def synth_sparse_checkpoint(
+    model_name: str,
+    path,
+    *,
+    density: float = 0.05,
+    zero_untracked: bool = True,
+    seed: int = 42,
+) -> str:
+    """Train-and-export one bench checkpoint at a given tracked density.
+
+    The single checkpoint-synthesis helper shared by ``bench_sparse.py``,
+    ``bench_serve.py`` (through the same underlying trainer), and
+    ``test_perf_microbench.py`` — delegates to
+    :func:`repro.serve.loadgen.train_bench_checkpoint` so every consumer
+    trains the identical tiny model.  Returns the path.
+    """
+    from repro.serve.loadgen import train_bench_checkpoint
+
+    train_bench_checkpoint(
+        model_name, str(path), seed=seed, density=density, zero_untracked=zero_untracked
+    )
+    return str(path)
+
+
+def density_sweep_checkpoints(
+    model_name: str,
+    out_dir,
+    densities=DENSITY_GRID,
+    *,
+    zero_untracked: bool = True,
+    seed: int = 42,
+) -> dict[float, str]:
+    """One checkpoint per density in ``densities``; returns density -> path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return {
+        d: synth_sparse_checkpoint(
+            model_name,
+            out_dir / f"{model_name}-d{d:g}.npz",
+            density=d,
+            zero_untracked=zero_untracked,
+            seed=seed,
+        )
+        for d in densities
+    }
+
+
 def emit_report(name: str, text: str) -> None:
     """Print a bench report and persist it under benchmarks/results/."""
     print(f"\n===== {name} =====")

@@ -212,3 +212,29 @@ def test_perf_dropback_step_paths():
         f"frozen step ({frozen_t * 1e6:.0f} us) should be >=5x faster than "
         f"the dense reference ({reference_t * 1e6:.0f} us)"
     )
+
+
+def test_packed_registry_bytes_and_parity(tmp_path):
+    """Packed serving on a genuinely trained checkpoint from the shared
+    density-sweep fixture: same outputs as the dense path (to sparse-kernel
+    tolerance) at a fraction of the resident bytes."""
+    from common import synth_sparse_checkpoint
+
+    from repro.serve import ModelRegistry
+    from repro.tensor.kernels import sparse
+
+    if not sparse.is_available():
+        pytest.skip("scipy.sparse unavailable")
+
+    ckpt = synth_sparse_checkpoint(
+        "mnist-100-100", tmp_path / "bench.npz", density=0.05, zero_untracked=True
+    )
+    dense = ModelRegistry()
+    packed = ModelRegistry()
+    dd = dense.register("m", mnist_100_100, ckpt)
+    pd = packed.register("m", mnist_100_100, ckpt, packed=True)
+    x = np.random.default_rng(0).normal(size=(16, 28, 28)).astype(np.float32)
+    out_dense = dense.acquire(dd).forward(x)
+    out_packed = packed.acquire(pd).forward(x)
+    np.testing.assert_allclose(out_packed, out_dense, rtol=1e-5, atol=1e-6)
+    assert packed.resident_bytes < 0.5 * dense.resident_bytes

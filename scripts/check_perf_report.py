@@ -42,7 +42,10 @@ sub-millisecond percentiles sit below the default noise floor).
 report's ``meta[NAME]`` to be a number >= MIN — e.g.
 ``--gate-meta speedup_vs_batch1:2.0`` enforces the dynamic-batching
 throughput win, which is a same-process ratio and therefore
-machine-independent by construction.
+machine-independent by construction.  ``--gate-meta-max NAME:MAX`` is the
+mirror-image ceiling gate for metas where smaller is better — e.g.
+``--gate-meta-max registry_bytes_ratio:0.5`` enforces that packed serving
+stays under half the dense registry bytes.
 
 Exit codes: 0 = gate passed (or sanitized-run skip), 1 = regression or a
 failed meta gate, 2 = unusable input (missing report file, unreadable
@@ -85,16 +88,16 @@ def _load_report(path: str, loader):
         raise UnusableInput(f"ERROR: cannot read perf report {path}: {exc}")
 
 
-def _parse_meta_gates(specs: list[str]) -> list[tuple[str, float]]:
+def _parse_meta_gates(specs: list[str], flag: str = "--gate-meta") -> list[tuple[str, float]]:
     gates = []
     for spec in specs:
-        name, sep, minimum = spec.rpartition(":")
+        name, sep, bound = spec.rpartition(":")
         if not sep or not name:
-            raise UnusableInput(f"ERROR: --gate-meta expects NAME:MIN, got {spec!r}")
+            raise UnusableInput(f"ERROR: {flag} expects NAME:BOUND, got {spec!r}")
         try:
-            gates.append((name, float(minimum)))
+            gates.append((name, float(bound)))
         except ValueError:
-            raise UnusableInput(f"ERROR: --gate-meta minimum must be a number, got {spec!r}")
+            raise UnusableInput(f"ERROR: {flag} bound must be a number, got {spec!r}")
     return gates
 
 
@@ -165,6 +168,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gate-meta", metavar="NAME:MIN", action="append", default=[],
                         help="require current report meta[NAME] >= MIN (repeatable, "
                              "e.g. --gate-meta speedup_vs_batch1:2.0)")
+    parser.add_argument("--gate-meta-max", metavar="NAME:MAX", action="append", default=[],
+                        help="require current report meta[NAME] <= MAX (repeatable, "
+                             "e.g. --gate-meta-max registry_bytes_ratio:0.5)")
     parser.add_argument("--top", type=int, default=20, help="rows to display")
     parser.add_argument("--allow-sanitized", action="store_true",
                         help="gate even if a report was produced under REPRO_SANITIZE "
@@ -176,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.utils import format_table
 
     meta_gates = _parse_meta_gates(args.gate_meta)
+    meta_max_gates = _parse_meta_gates(args.gate_meta_max, flag="--gate-meta-max")
     baseline = _load_report(args.baseline, PerfReport.load)
     current = _load_report(args.current, PerfReport.load)
 
@@ -211,6 +218,15 @@ def main(argv: list[str] | None = None) -> int:
             meta_failures.append(f"meta[{name!r}] = {value} < required minimum {minimum}")
         else:
             print(f"meta gate ok: {name} = {value} >= {minimum}")
+    for name, maximum in meta_max_gates:
+        value = current.meta.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            meta_failures.append(f"meta[{name!r}] missing or non-numeric "
+                                 f"(got {value!r}, need <= {maximum})")
+        elif value > maximum:
+            meta_failures.append(f"meta[{name!r}] = {value} > required maximum {maximum}")
+        else:
+            print(f"meta gate ok: {name} = {value} <= {maximum}")
 
     if regressions or meta_failures:
         if regressions:

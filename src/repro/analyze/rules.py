@@ -1,10 +1,11 @@
-"""Repo-specific lint rules (RPA001-RPA008).
+"""Repo-specific lint rules (RPA001-RPA009).
 
 Each rule encodes one invariant the flat-weight-plane / workspace-pool /
 deterministic-regeneration design depends on (RPA006 guards the serving
 layer's lock discipline, RPA007 the kernel-dispatch boundary, RPA008 the
-process/shared-memory boundary).  See ``docs/static-analysis.md`` for the
-full catalog with rationale and the suppression syntax.
+process/shared-memory boundary, RPA009 the sparse-format boundary).  See
+``docs/static-analysis.md`` for the full catalog with rationale and the
+suppression syntax.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ __all__ = [
     "LockDisciplineRule",
     "DirectMatmulRule",
     "MultiprocessingBoundaryRule",
+    "SparseFormatBoundaryRule",
     "HOT_MODULES",
     "ALLOC_CALLS",
 ]
@@ -606,5 +608,94 @@ class MultiprocessingBoundaryRule(Rule):
                     node,
                     f"`{name}()` outside repro.parallel; forked children need "
                     "the parallel package's exit/cleanup discipline",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class SparseFormatBoundaryRule(Rule):
+    """RPA009: sparse-format construction outside ``tensor/kernels/sparse*``.
+
+    The packed CSR representation has load-bearing invariants — index
+    arrays kept int32, value buffers shared by reference so dirty-flag
+    refresh works, pack keys tied to live plane views, the density-cutoff
+    fallback contract — that ``repro.tensor.kernels.sparse`` centralizes
+    (mirroring RPA007/RPA008's boundary rules).  A raw ``scipy.sparse``
+    import or ``csr_matrix(...)`` call in ``nn/``, ``core/``, or
+    ``serve/`` builds structures those invariants do not cover: values
+    copied instead of shared go stale after frozen updates, and ad-hoc
+    formats dodge the parity tests and the auto-dispatch cutoff.  Go
+    through the dispatch registry or the sparse module's public packing
+    API (``pack_from_indices`` / ``register_weight`` / ``sparse_linear``)
+    instead.
+    """
+
+    code = "RPA009"
+    summary = "sparse-format construction belongs in tensor/kernels/sparse"
+    rationale = (
+        "Packed-format invariants (int32 indices, by-reference value "
+        "buffers for dirty refresh, view-keyed registration, cutoff "
+        "fallback) live in repro.tensor.kernels.sparse; ad-hoc "
+        "scipy.sparse structures elsewhere silently break value refresh "
+        "and skip the sparse parity/dispatch tests."
+    )
+
+    #: The designated home for sparse-format construction.
+    allowed_paths = ("tensor/kernels/sparse",)
+
+    #: scipy.sparse constructors that build a sparse-format object.
+    _SPARSE_CTORS = frozenset(
+        {
+            "csr_matrix", "csc_matrix", "coo_matrix", "bsr_matrix",
+            "lil_matrix", "dok_matrix", "dia_matrix",
+            "csr_array", "csc_array", "coo_array", "bsr_array",
+            "lil_array", "dok_array", "dia_array",
+        }
+    )
+
+    def _applies(self) -> bool:
+        return not any(p in self.src.relpath for p in self.allowed_paths)
+
+    @staticmethod
+    def _is_scipy_sparse(module: str | None) -> bool:
+        return module is not None and (
+            module == "scipy.sparse" or module.startswith("scipy.sparse.")
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._applies():
+            for alias in node.names:
+                if self._is_scipy_sparse(alias.name):
+                    self.report(
+                        node,
+                        f"`import {alias.name}` outside tensor/kernels/sparse; "
+                        "use the sparse backend's packing API (RPA009)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._applies():
+            imported_sparse = self._is_scipy_sparse(node.module) or (
+                node.module == "scipy" and any(a.name == "sparse" for a in node.names)
+            )
+            if imported_sparse:
+                names = ", ".join(alias.name for alias in node.names)
+                self.report(
+                    node,
+                    f"`from {node.module} import {names}` outside "
+                    "tensor/kernels/sparse; use the sparse backend's packing "
+                    "API (RPA009)",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._applies():
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in self._SPARSE_CTORS:
+                self.report(
+                    node,
+                    f"`{name}(...)` builds a raw sparse format outside "
+                    "tensor/kernels/sparse; use pack_from_indices/"
+                    "register_weight so refresh and dispatch invariants hold",
                 )
         self.generic_visit(node)

@@ -261,15 +261,21 @@ def cmd_kernels(args: argparse.Namespace) -> int:
     from repro.tensor.kernels import bench
 
     if not args.bench:
+        from repro.tensor.kernels import sparse
+
         active = kernels.get_backend()
+        overrides = kernels.op_overrides()
         rows = []
         for op in kernels.list_ops():
             backends = kernels.list_backends(op)
             resolved, _ = kernels.resolve(op)
-            rows.append([op, ", ".join(backends), resolved])
-        print(format_table(["op", "backends", "active"], rows))
+            rows.append([op, ", ".join(backends), overrides.get(op, "-"), resolved])
+        print(format_table(["op", "backends", "override", "resolved"], rows))
         print(f"\nactive backend: {active} (REPRO_BACKEND)  "
               f"threads: {kernels.thread_count()} (REPRO_THREADS)")
+        print(f"sparse density cutoff: {sparse.density_cutoff():g} "
+              f"(REPRO_SPARSE_DENSITY_CUTOFF; above it the sparse backend "
+              f"delegates to fast)")
         return 0
 
     print(f"micro-benching kernels ({args.rounds} round(s) per backend) ...")

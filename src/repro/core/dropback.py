@@ -49,6 +49,7 @@ from repro.core.selection import Selector, SortSelector
 from repro.nn import Module, Parameter
 from repro.optim.base import Optimizer
 from repro.profile import profiled
+from repro.tensor.kernels import sparse as sparse_kernels
 
 __all__ = ["DropBack"]
 
@@ -180,6 +181,9 @@ class DropBack(Optimizer):
         self._frozen_segs: list[tuple[Parameter, int, int, np.ndarray]] = []
         self._g_k: np.ndarray | None = None
         self._w_k: np.ndarray | None = None
+        # Packed-weight keys registered with the sparse kernel backend
+        # while frozen (zero_untracked only); see _register_sparse_packs.
+        self._sparse_keys: list = []
 
     def _resolve_plane_slice(self) -> np.ndarray | None:
         """The plane sub-view covering all prunable params, if contiguous."""
@@ -208,6 +212,10 @@ class DropBack(Optimizer):
         """
         self._views = [p.data for _, p in self._prunable]
         self._plane_slice = self._resolve_plane_slice()
+        if self.frozen and self._tracked_idx is not None:
+            self._register_sparse_packs()
+        else:
+            self._invalidate_sparse_packs()
 
     # ------------------------------------------------------------------ #
     # properties
@@ -253,6 +261,7 @@ class DropBack(Optimizer):
             s, e = int(bounds[i]), int(bounds[i + 1])
             if s < e:
                 self._frozen_segs.append((p, s, e, idx[s:e] - lo))
+        self._register_sparse_packs()
 
     def unfreeze(self) -> None:
         """Resume tracked-set re-selection (for experiments)."""
@@ -261,6 +270,37 @@ class DropBack(Optimizer):
         self._frozen_segs = []
         self._g_k = None
         self._w_k = None
+        self._invalidate_sparse_packs()
+
+    def _register_sparse_packs(self) -> None:
+        """Pack the frozen tracked set for the ``sparse`` kernel backend.
+
+        Only meaningful in ``zero_untracked`` mode, where the plane really
+        is k-sparse (otherwise untracked weights sit at W(0), dense).  The
+        pack's CSR structure *is* the frozen tracked set, so it survives
+        every frozen step; the kernel re-gathers tracked values per call.
+        Packs are inert until the ``sparse`` backend is selected for
+        dispatch (``REPRO_BACKEND=sparse`` or a matmul/conv op pin).
+        """
+        self._invalidate_sparse_packs()
+        if not (self.zero_untracked and sparse_kernels.is_available()):
+            return
+        idx = self._tracked_idx
+        cutoff = sparse_kernels.density_cutoff()
+        bounds = np.searchsorted(idx, self._offsets)
+        for i, ((lo, _), (_, p)) in enumerate(zip(self._spans, self._prunable)):
+            if p.data.ndim not in (2, 4) or not p.plane_backed:
+                continue
+            s, e = int(bounds[i]), int(bounds[i + 1])
+            if (e - s) / p.size > cutoff:
+                continue
+            self._sparse_keys.extend(sparse_kernels.register_weight(p.data, idx[s:e] - lo))
+
+    def _invalidate_sparse_packs(self) -> None:
+        """Drop registered packs (tracked-set change or plane re-home)."""
+        if self._sparse_keys:
+            sparse_kernels.invalidate(self._sparse_keys)
+            self._sparse_keys = []
 
     # ------------------------------------------------------------------ #
     # step — vectorized flat-plane implementation
@@ -353,6 +393,8 @@ class DropBack(Optimizer):
             np.subtract(wk, gk, out=wk)
             for p, s, e, li in self._frozen_segs:
                 np.put(p.data, li, wk[s:e])
+        if self._sparse_keys:
+            sparse_kernels.mark_dirty(self._sparse_keys)
 
     def _select(self, scores: np.ndarray) -> np.ndarray:
         """Run the selector, reusing the mask scratch buffer when it can."""

@@ -63,6 +63,15 @@ class SparsePayload:
     def k(self) -> int:
         return int(self.indices.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes this decoded payload pins in memory (indices + values + buffers)."""
+        return int(
+            self.indices.nbytes
+            + self.values.nbytes
+            + sum(b.nbytes for b in self.buffers.values())
+        )
+
 
 def read_sparse_payload(path: str) -> SparsePayload:
     """Decode a sparse or quantized-sparse checkpoint into a payload.

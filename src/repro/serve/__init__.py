@@ -6,7 +6,9 @@ turns that into a service:
 
 * :class:`~repro.serve.registry.ModelRegistry` — digest-keyed sparse
   checkpoints, weight planes materialized on demand, LRU-evicted under a
-  byte budget;
+  byte budget; ``packed=True`` entries serve zero-untracked checkpoints
+  straight from CSR weight packs (:class:`~repro.serve.packed.PackedModel`)
+  without ever inflating a dense plane;
 * :class:`~repro.serve.batcher.DynamicBatcher` — coalesces concurrent
   single-sample requests into batched forward passes
   (``max_batch_size`` / ``max_wait_ms`` policy) served by worker threads;
@@ -20,12 +22,14 @@ See ``docs/serving.md`` for architecture and tuning notes.
 
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.loadgen import LoadResult, build_report, measure_single_forward, run_load
+from repro.serve.packed import PackedModel
 from repro.serve.registry import ModelHandle, ModelRegistry, RegistryStats, checkpoint_digest
 from repro.serve.server import InferenceServer, ServeStats
 
 __all__ = [
     "ModelRegistry",
     "ModelHandle",
+    "PackedModel",
     "RegistryStats",
     "checkpoint_digest",
     "DynamicBatcher",

@@ -50,6 +50,7 @@ __all__ = [
     "run_load",
     "measure_single_forward",
     "build_report",
+    "train_bench_checkpoint",
     "build_arg_parser",
     "run_bench",
     "run_main",
@@ -205,14 +206,31 @@ def build_report(
 # ---------------------------------------------------------------------- #
 
 
-def _train_bench_checkpoint(model_name: str, path: str, seed: int = 42) -> None:
-    """Train a tiny DropBack model and export its sparse checkpoint."""
+def train_bench_checkpoint(
+    model_name: str,
+    path: str,
+    *,
+    seed: int = 42,
+    density: float | None = None,
+    zero_untracked: bool = False,
+) -> None:
+    """Train a tiny DropBack model and export its sparse checkpoint.
+
+    The shared checkpoint-synthesis helper behind ``bench_serve.py``,
+    ``bench_sparse.py``, and the perf microbench tests (via
+    ``benchmarks/common.py``).  ``density`` sets the tracked fraction
+    (default 0.10); ``zero_untracked=True`` trains the zeroing ablation,
+    producing the genuinely sparse payloads the packed serving path and
+    sparse kernels consume.
+    """
     factory = BENCH_MODELS[model_name]
     from repro.io import save_sparse
 
     train, test = synth_mnist(n_train=512, n_test=128, seed=0)
     model = factory().finalize(seed)
-    opt = DropBack(model, k=max(1, model.num_parameters() // 10), lr=0.4)
+    n = model.num_parameters()
+    k = max(1, round(n * density)) if density is not None else max(1, n // 10)
+    opt = DropBack(model, k=k, lr=0.4, zero_untracked=zero_untracked)
     Trainer(model, opt, schedule=ConstantLR(0.4)).fit(
         DataLoader(train, 64, seed=1), test, epochs=1
     )
@@ -248,7 +266,7 @@ def run_bench(args: argparse.Namespace) -> PerfReport:
 
     with tempfile.TemporaryDirectory() as tmp:
         ckpt = os.path.join(tmp, "bench_model.npz")
-        _train_bench_checkpoint(args.model, ckpt, seed=args.seed)
+        train_bench_checkpoint(args.model, ckpt, seed=args.seed)
         ckpt_bytes = os.path.getsize(ckpt)
         registry = ModelRegistry(byte_budget=budget)
         digest = registry.register(args.model, factory, ckpt)

@@ -15,7 +15,12 @@ weight plane only when a request actually needs it:
   courtesy of the flat weight plane;
 * materialized planes are **LRU-evicted under a byte budget**: evicting a
   cold model drops only its plane (one contiguous buffer); the sparse
-  payload stays, so the next request rematerializes it bit-exactly.
+  payload stays, so the next request rematerializes it bit-exactly;
+* ``packed=True`` entries with a ``zero_untracked`` payload skip the
+  dense plane entirely and serve through CSR weight packs
+  (:mod:`repro.serve.packed`), so their resident cost is the packed bytes
+  — the budget counts pinned payloads plus whatever form (plane or pack)
+  each materialized entry holds.
 
 Bit-exactness of evict → rematerialize is a theorem of the design (the
 plane is a pure function of ``(architecture, seed, tracked set)``) and is
@@ -112,6 +117,7 @@ class _Entry:
     name: str
     factory: Callable[[], Module]
     payload: SparsePayload
+    packed: bool = False
     model: Module | None = None
     plane_bytes: int = 0
     forward_lock: threading.Lock = field(default_factory=threading.Lock)
@@ -124,9 +130,12 @@ class ModelRegistry:
     Parameters
     ----------
     byte_budget:
-        Maximum total bytes of *materialized* weight planes kept resident
-        (``None`` = unbounded).  The plane most recently acquired is never
-        evicted, so a single model larger than the budget still serves.
+        Maximum total bytes the registry keeps alive (``None`` =
+        unbounded): pinned decoded payloads for every entry plus
+        materialized servables (dense planes, or CSR bytes for
+        ``packed=True`` entries).  Only servables are evictable; the one
+        most recently acquired is never evicted, so a single model larger
+        than the budget still serves.
     """
 
     def __init__(self, byte_budget: int | None = None):
@@ -143,11 +152,25 @@ class ModelRegistry:
     # registration
     # ------------------------------------------------------------------ #
 
-    def register(self, name: str, factory: Callable[[], Module], checkpoint_path: str) -> str:
-        """Register a sparse/quantized checkpoint file; returns its digest."""
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], Module],
+        checkpoint_path: str,
+        *,
+        packed: bool = False,
+    ) -> str:
+        """Register a sparse/quantized checkpoint file; returns its digest.
+
+        ``packed=True`` opts the entry into packed materialization: a
+        ``zero_untracked`` payload over supported layers serves straight
+        from CSR (see :mod:`repro.serve.packed`) and its resident cost is
+        the packed bytes, not the dense plane.  Unsupported entries fall
+        back to dense materialization silently.
+        """
         digest = checkpoint_digest(checkpoint_path)
         payload = read_sparse_payload(checkpoint_path)
-        return self.register_payload(name, factory, payload, digest=digest)
+        return self.register_payload(name, factory, payload, digest=digest, packed=packed)
 
     def register_payload(
         self,
@@ -155,6 +178,8 @@ class ModelRegistry:
         factory: Callable[[], Module],
         payload: SparsePayload,
         digest: str | None = None,
+        *,
+        packed: bool = False,
     ) -> str:
         """Register an already-decoded payload (tests, in-process export)."""
         if digest is None:
@@ -162,7 +187,7 @@ class ModelRegistry:
         with self._lock:
             if digest not in self._entries:
                 self._entries[digest] = _Entry(
-                    digest=digest, name=name, factory=factory, payload=payload
+                    digest=digest, name=name, factory=factory, payload=payload, packed=packed
                 )
         return digest
 
@@ -178,7 +203,10 @@ class ModelRegistry:
                 raise KeyError(f"unknown model digest: {digest}")
             if entry.model is None:
                 entry.model = self._materialize(entry)
-                entry.plane_bytes = int(entry.model.weight_plane.nbytes)
+                plane = getattr(entry.model, "weight_plane", None)
+                # Packed models have no plane; their resident cost is the
+                # CSR structures themselves.
+                entry.plane_bytes = int(entry.model.nbytes if plane is None else plane.nbytes)
                 entry.materializations += 1
                 self.stats.materializations += 1
             else:
@@ -189,8 +217,18 @@ class ModelRegistry:
                 digest=digest, name=entry.name, model=entry.model, lock=entry.forward_lock
             )
 
-    def _materialize(self, entry: _Entry) -> Module:
+    def _materialize(self, entry: _Entry):
+        """Build the servable for one entry: a finalized dense ``Module``,
+        or a plane-free ``PackedModel`` for packed-eligible entries."""
         payload = entry.payload
+        if entry.packed:
+            from repro.serve.packed import PackedModel
+
+            packed = PackedModel.try_build(entry.factory(), payload)
+            if packed is not None:
+                return packed
+            # Unsupported for packing (regeneration-mode payload, buffers,
+            # exotic layers): serve densely like any other entry.
         model = entry.factory().finalize(payload.seed)
         engine = RegeneratingInferenceEngine(model, payload.indices, payload.values)
         engine.materialize_resident(zero_untracked=payload.zero_untracked)
@@ -204,10 +242,13 @@ class ModelRegistry:
         return model
 
     def _evict_over_budget(self, keep: str) -> None:
-        # caller holds self._lock
+        # caller holds self._lock.  The budget covers everything the
+        # registry keeps alive: pinned payloads (which eviction can never
+        # reclaim) plus materialized planes/packs (which it can) — so a
+        # registry full of "cheap" packed entries still respects the cap.
         if self.byte_budget is None:
             return
-        while self.resident_bytes > self.byte_budget:
+        while self.pinned_bytes + self.resident_bytes > self.byte_budget:
             victim = next(
                 (e for e in self._entries.values() if e.model is not None and e.digest != keep),
                 None,
@@ -238,9 +279,23 @@ class ModelRegistry:
 
     @property
     def resident_bytes(self) -> int:
-        """Total bytes of currently materialized weight planes."""
+        """Total bytes of currently materialized servables.
+
+        Dense entries contribute their weight-plane bytes; packed entries
+        contribute their CSR structure bytes (typically a small fraction
+        of the plane — that gap is the ``registry_bytes_ratio`` the sparse
+        bench gates on).
+        """
         with self._lock:
             return sum(e.plane_bytes for e in self._entries.values())
+
+    @property
+    def pinned_bytes(self) -> int:
+        """Total bytes of decoded payloads (pinned for every entry, incl.
+        quantized ``__qformat__`` checkpoints, which pin their dequantized
+        values)."""
+        with self._lock:
+            return sum(e.payload.nbytes for e in self._entries.values())
 
     def digests(self) -> list[str]:
         with self._lock:
@@ -265,12 +320,9 @@ class ModelRegistry:
                 "k": payload.k,
                 "seed": payload.seed,
                 "resident": entry.model is not None,
+                "packed": entry.packed,
                 "plane_bytes": entry.plane_bytes,
-                "sparse_bytes": int(
-                    payload.indices.nbytes
-                    + payload.values.nbytes
-                    + sum(b.nbytes for b in payload.buffers.values())
-                ),
+                "sparse_bytes": payload.nbytes,
                 "materializations": entry.materializations,
             }
 

@@ -13,16 +13,25 @@ Public API::
 Backends: ``reference`` (pre-dispatch numpy code verbatim; the parity
 oracle), ``fast`` (pooled workspaces, batch-flattened conv GEMM, fused
 batchnorm+relu — the default), ``threaded`` (panel-parallel GEMM sized by
-``REPRO_THREADS``).  See ``docs/kernels.md``.
+``REPRO_THREADS``), ``sparse`` (packed CSR weights for frozen/zeroed
+high-sparsity regimes, falling back to ``fast`` above
+``REPRO_SPARSE_DENSITY_CUTOFF``).  See ``docs/kernels.md`` and
+``docs/sparse.md``.
 """
 
-from repro.tensor.kernels import fast, reference, threaded  # noqa: F401 - registration
+from repro.tensor.kernels import (  # noqa: F401 - registration
+    fast,
+    reference,
+    sparse,
+    threaded,
+)
 from repro.tensor.kernels.registry import (
     DEFAULT_BACKEND,
     REFERENCE_BACKEND,
     get_backend,
     list_backends,
     list_ops,
+    op_overrides,
     op_table,
     register_kernel,
     resolve,
@@ -38,6 +47,7 @@ __all__ = [
     "get_backend",
     "list_backends",
     "list_ops",
+    "op_overrides",
     "op_table",
     "register_kernel",
     "resolve",

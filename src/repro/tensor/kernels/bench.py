@@ -137,12 +137,16 @@ def bench_kernels(rounds: int = BENCH_ROUNDS, seed: int = 0) -> PerfReport:
             name = f"kernels.{op}.{backend}"
             ops[name] = OpStat(name=name, calls=rounds, total_seconds=best)
 
+    from repro.tensor.kernels import sparse
+
     meta: dict = {
         "rounds": rounds,
         "seed": seed,
         "active_backend": registry.get_backend(),
+        "op_overrides": registry.op_overrides(),
         "threads": registry.thread_count(),
         "cpu_count": os.cpu_count() or 1,
+        "sparse_density_cutoff": sparse.density_cutoff(),
         "shapes": {
             "conv": [_CONV_N, _CONV_C, _CONV_F, _CONV_HW, _CONV_K, _CONV_PAD],
             "bn_relu": list(_BN_SHAPE),

@@ -32,6 +32,7 @@ __all__ = [
     "use_backend",
     "list_ops",
     "list_backends",
+    "op_overrides",
     "op_table",
     "thread_count",
     "REFERENCE_BACKEND",
@@ -99,6 +100,11 @@ def set_op_backend(op: str, backend: str | None) -> None:
         _OP_OVERRIDES.pop(op, None)
     else:
         _OP_OVERRIDES[op] = _validate(backend)
+
+
+def op_overrides() -> dict[str, str]:
+    """Snapshot of the active per-op pins (op -> backend name)."""
+    return dict(_OP_OVERRIDES)
 
 
 @contextmanager

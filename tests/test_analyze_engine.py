@@ -154,7 +154,7 @@ class TestFindingsDocument:
         assert doc["violations"][0]["fingerprint"] == "RPA001:src/repro/x.py:f"
         assert set(doc["rules"]) == {
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
-            "RPA007", "RPA008",
+            "RPA007", "RPA008", "RPA009",
         }
 
 

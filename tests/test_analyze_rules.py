@@ -25,6 +25,7 @@ from repro.analyze.rules import (
     LockDisciplineRule,
     MissingProfiledRule,
     MultiprocessingBoundaryRule,
+    SparseFormatBoundaryRule,
     UnseededRandomRule,
 )
 
@@ -37,10 +38,10 @@ def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[V
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert set(RULE_REGISTRY) == {
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
-            "RPA007", "RPA008",
+            "RPA007", "RPA008", "RPA009",
         }
 
     def test_rules_carry_summary_and_rationale(self):
@@ -383,3 +384,51 @@ class TestMultiprocessingBoundaryRule:
     def test_noqa_suppression(self):
         src = "import multiprocessing  # repro: noqa[RPA008] doc example\n"
         assert lint(MultiprocessingBoundaryRule, src, self.TRAIN) == []
+
+
+class TestSparseFormatBoundaryRule:
+    SERVE = "src/repro/serve/example.py"
+    CORE = "src/repro/core/example.py"
+    SPARSE = "src/repro/tensor/kernels/sparse.py"
+    SPARSE_SIBLING = "src/repro/tensor/kernels/sparse_block.py"
+
+    def test_flags_scipy_sparse_import(self):
+        (hit,) = lint(SparseFormatBoundaryRule, "import scipy.sparse\n", self.SERVE)
+        assert hit.code == "RPA009"
+        assert "tensor/kernels/sparse" in hit.message
+
+    def test_flags_from_scipy_import_sparse(self):
+        src = "from scipy import sparse\n"
+        assert len(lint(SparseFormatBoundaryRule, src, self.CORE)) == 1
+
+    def test_flags_from_scipy_sparse_import(self):
+        src = "from scipy.sparse import csr_matrix\n"
+        (hit,) = lint(SparseFormatBoundaryRule, src, self.SERVE)
+        assert "csr_matrix" in hit.message
+
+    def test_flags_constructor_call(self):
+        (hit,) = lint(SparseFormatBoundaryRule, "m = sp.csr_matrix(w)\n", self.CORE)
+        assert "pack_from_indices" in hit.message
+
+    def test_flags_all_format_constructors(self):
+        for ctor in ("csc_matrix", "coo_matrix", "bsr_matrix", "csr_array"):
+            src = f"m = sp.{ctor}(w)\n"
+            assert len(lint(SparseFormatBoundaryRule, src, self.SERVE)) == 1, ctor
+
+    def test_sparse_module_exempt(self):
+        src = "import scipy.sparse as _sp\nm = _sp.csr_matrix((d, i, p))\n"
+        assert lint(SparseFormatBoundaryRule, src, self.SPARSE) == []
+        # future block-CSR siblings stay in scope of the exemption
+        assert lint(SparseFormatBoundaryRule, src, self.SPARSE_SIBLING) == []
+
+    def test_packing_api_calls_not_flagged(self):
+        src = "pack = sparse.pack_from_indices(shape, idx, vals)\n"
+        assert lint(SparseFormatBoundaryRule, src, self.SERVE) == []
+
+    def test_unrelated_scipy_not_flagged(self):
+        src = "from scipy import linalg\nimport scipy.stats\n"
+        assert lint(SparseFormatBoundaryRule, src, self.CORE) == []
+
+    def test_noqa_suppression(self):
+        src = "import scipy.sparse  # repro: noqa[RPA009] doc example\n"
+        assert lint(SparseFormatBoundaryRule, src, self.SERVE) == []

@@ -514,6 +514,109 @@ class TestMetaGate:
         assert exc_info.value.code == 2
 
 
+class TestMetaGateMax:
+    """``--gate-meta-max NAME:MAX`` is the ceiling twin of ``--gate-meta``
+    (the sparse job uses it for registry_bytes_ratio: packed serving must
+    stay *below* half the dense footprint)."""
+
+    def _pair(self, tmp_path, meta: dict):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        _report("base", {"op": 1.0}).write(base)
+        rep = _report("cur", {"op": 1.0})
+        rep.meta.update(meta)
+        rep.write(cur)
+        return str(base), str(cur)
+
+    def test_meta_at_or_below_maximum_passes(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"bytes_ratio": 0.1})
+        assert mod.main([base, cur, "--gate-meta-max", "bytes_ratio:0.5"]) == 0
+        assert "meta gate ok" in capsys.readouterr().out
+
+    def test_meta_above_maximum_fails(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"bytes_ratio": 0.9})
+        assert mod.main([base, cur, "--gate-meta-max", "bytes_ratio:0.5"]) == 1
+        assert "required maximum" in capsys.readouterr().out
+
+    def test_missing_meta_key_fails(self, tmp_path, capsys):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {})
+        assert mod.main([base, cur, "--gate-meta-max", "bytes_ratio:0.5"]) == 1
+        assert "missing or non-numeric" in capsys.readouterr().out
+
+    def test_floor_and_ceiling_compose(self, tmp_path):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"speedup": 3.0, "bytes_ratio": 0.2})
+        argv = [
+            base, cur,
+            "--gate-meta", "speedup:2.0",
+            "--gate-meta-max", "bytes_ratio:0.5",
+        ]
+        assert mod.main(argv) == 0
+
+    def test_bad_spec_exits_2(self, tmp_path):
+        mod = _load_checker()
+        base, cur = self._pair(tmp_path, {"a": 3.0})
+        with pytest.raises(SystemExit) as exc_info:
+            mod.main([base, cur, "--gate-meta-max", "nocolon"])
+        assert exc_info.value.code == 2
+
+
+class TestSparseGateWiring:
+    """The bench-smoke job must regenerate the sparse execution bench and
+    gate both directions: the sparse-matmul speedup floor and the packed
+    registry bytes ceiling."""
+
+    def test_baseline_stashed_before_bench_regenerates_it(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        runs = [s.get("run", "") for s in steps]
+        stash = next(i for i, r in enumerate(runs) if "perf_sparse.baseline.json" in r)
+        bench = next(i for i, r in enumerate(runs) if "bench_sparse.py" in r)
+        gate = next(
+            i for i, r in enumerate(runs)
+            if "perf_sparse.baseline.json" in r and "check_perf_report.py" in r
+        )
+        assert stash < bench < gate
+
+    def test_bench_pins_blas_threads(self, workflow):
+        # The committed baseline was measured single-threaded; an
+        # unpinned BLAS would make the dense anchor incomparable.
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        bench = next(s for s in steps if "bench_sparse.py" in s.get("run", ""))
+        assert bench["env"]["OPENBLAS_NUM_THREADS"] == "1"
+        assert bench["env"]["OMP_NUM_THREADS"] == "1"
+
+    def test_gate_has_speedup_floor_and_bytes_ceiling(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        run = next(
+            s["run"] for s in steps
+            if "perf_sparse.baseline.json" in s.get("run", "")
+            and "check_perf_report.py" in s.get("run", "")
+        )
+        assert "--normalize kernels.matmul.fast" in run
+        assert "--min-seconds 0.0" in run
+        assert "--gate-meta speedup_sparse_matmul_d90:2.0" in run
+        assert "--gate-meta-max registry_bytes_ratio:0.5" in run
+
+    def test_committed_sparse_baseline_exists_and_meets_gates(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "perf_sparse.json"
+        assert path.is_file(), "committed sparse bench baseline missing"
+        report = PerfReport.load(path)
+        for op in (
+            "kernels.matmul.fast",
+            "kernels.matmul.sparse",
+            "serve.dense_forward",
+            "serve.sparse_forward",
+        ):
+            assert op in report.ops, op
+            assert report.ops[op].total_seconds > 0
+        assert report.meta["speedup_sparse_matmul_d90"] >= 2.0
+        assert report.meta["registry_bytes_ratio"] <= 0.5
+        assert report.meta["sparse_density_cutoff"] == 0.25
+
+
 class TestServeBenchJobWiring:
     """The serve-bench job must stash the committed serving baseline,
     regenerate it under load, and gate p50/p99 + the batching speedup."""

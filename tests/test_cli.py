@@ -98,6 +98,21 @@ class TestKernelsCommand:
             assert op in out
         assert "reference" in out
         assert "active backend:" in out
+        assert "sparse density cutoff:" in out
+        assert "REPRO_SPARSE_DENSITY_CUTOFF" in out
+
+    def test_table_shows_per_op_override(self, capsys):
+        from repro.tensor.kernels import registry
+
+        registry.set_op_backend("matmul", "sparse")
+        try:
+            assert main(["kernels"]) == 0
+            out = capsys.readouterr().out
+            row = next(line for line in out.splitlines() if line.startswith("matmul "))
+            # Both the pin and the backend it resolves to are visible.
+            assert row.rstrip().endswith("sparse    sparse")
+        finally:
+            registry.set_op_backend("matmul", None)
 
     def test_bench_writes_perf_report(self, tmp_path, capsys):
         from repro.profile import PerfReport
@@ -112,3 +127,5 @@ class TestKernelsCommand:
         for meta_key in ("speedup_conv_gemm", "speedup_bn_relu", "speedup_conv_forward"):
             assert isinstance(report.meta[meta_key], float)
         assert report.meta["rounds"] == 2
+        assert report.meta["sparse_density_cutoff"] == 0.25
+        assert report.meta["op_overrides"] == {}

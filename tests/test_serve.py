@@ -31,13 +31,17 @@ from repro.tensor import Tensor, no_grad
 from repro.train import Trainer
 
 
-def _payload(seed: int, k: int = 500, rng_seed: int = 0) -> SparsePayload:
+def _payload(
+    seed: int, k: int = 500, rng_seed: int = 0, zero_untracked: bool = False
+) -> SparsePayload:
     """A synthetic sparse payload for mnist-100-100 (no training needed)."""
     n = mnist_100_100().num_parameters()
     rng = np.random.default_rng(rng_seed + seed)
     indices = np.sort(rng.choice(n, size=k, replace=False)).astype(np.int64)
     values = rng.normal(scale=0.1, size=k).astype(np.float32)
-    return SparsePayload(seed=seed, indices=indices, values=values)
+    return SparsePayload(
+        seed=seed, indices=indices, values=values, zero_untracked=zero_untracked
+    )
 
 
 def _dense_forward(payload: SparsePayload, x: np.ndarray) -> np.ndarray:
@@ -114,9 +118,12 @@ class TestLRUEviction:
 
     def test_evicts_coldest_over_budget(self):
         plane = self._plane_bytes()
-        registry = ModelRegistry(byte_budget=2 * plane)
+        payloads = [_payload(s) for s in (1, 2, 3)]
+        # Pinned payload bytes count against the budget too; leave room for
+        # them so the budget holds exactly two planes.
+        registry = ModelRegistry(byte_budget=2 * plane + sum(p.nbytes for p in payloads))
         digests = [
-            registry.register_payload(f"m{s}", mnist_100_100, _payload(s)) for s in (1, 2, 3)
+            registry.register_payload(f"m{p.seed}", mnist_100_100, p) for p in payloads
         ]
         for d in digests:
             registry.acquire(d)
@@ -127,9 +134,10 @@ class TestLRUEviction:
 
     def test_recency_updates_on_acquire(self):
         plane = self._plane_bytes()
-        registry = ModelRegistry(byte_budget=2 * plane)
+        payloads = [_payload(s) for s in (1, 2, 3)]
+        registry = ModelRegistry(byte_budget=2 * plane + sum(p.nbytes for p in payloads))
         d1, d2, d3 = (
-            registry.register_payload(f"m{s}", mnist_100_100, _payload(s)) for s in (1, 2, 3)
+            registry.register_payload(f"m{p.seed}", mnist_100_100, p) for p in payloads
         )
         registry.acquire(d1)
         registry.acquire(d2)
@@ -170,6 +178,77 @@ class TestLRUEviction:
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):
             ModelRegistry(byte_budget=0)
+
+
+class TestPackedServing:
+    """packed=True entries: CSR serving, byte accounting, dense fallback."""
+
+    def _plane_bytes(self) -> int:
+        return mnist_100_100().finalize(0).weight_plane.nbytes
+
+    def test_packed_forward_matches_dense(self):
+        pytest.importorskip("scipy")
+        payload = _payload(7, k=2_000, zero_untracked=True)
+        dense = ModelRegistry()
+        packed = ModelRegistry()
+        dd = dense.register_payload("m", mnist_100_100, payload)
+        pd = packed.register_payload("m", mnist_100_100, payload, packed=True)
+        x = np.random.default_rng(0).normal(size=(16, 28, 28)).astype(np.float32)
+        out_dense = dense.acquire(dd).forward(x)
+        out_packed = packed.acquire(pd).forward(x)
+        np.testing.assert_allclose(out_packed, out_dense, rtol=1e-5, atol=1e-6)
+
+    def test_packed_entry_resident_cost_is_packed_bytes(self):
+        pytest.importorskip("scipy")
+        payload = _payload(8, k=2_000, zero_untracked=True)
+        registry = ModelRegistry()
+        digest = registry.register_payload("m", mnist_100_100, payload, packed=True)
+        handle = registry.acquire(digest)
+        # Packed servables carry no dense plane at all.
+        assert getattr(handle.model, "weight_plane", None) is None
+        assert registry.resident_bytes == handle.model.nbytes
+        assert registry.resident_bytes < self._plane_bytes() // 2
+        info = registry.describe(digest)
+        assert info["packed"] is True
+        assert info["plane_bytes"] == registry.resident_bytes
+        assert info["sparse_bytes"] == payload.nbytes
+
+    def test_regeneration_payload_falls_back_to_dense(self):
+        # zero_untracked=False means untracked weights are W(0): packing is
+        # invalid, so packed=True silently serves the dense path instead.
+        payload = _payload(9, k=500)
+        registry = ModelRegistry()
+        digest = registry.register_payload("m", mnist_100_100, payload, packed=True)
+        handle = registry.acquire(digest)
+        assert getattr(handle.model, "weight_plane", None) is not None
+        x = np.random.default_rng(1).normal(size=(4, 28, 28)).astype(np.float32)
+        np.testing.assert_array_equal(handle.forward(x), _dense_forward(payload, x))
+
+    def test_pinned_payload_bytes_counted_before_materialization(self):
+        payloads = [_payload(s) for s in (1, 2)]
+        registry = ModelRegistry()
+        for p in payloads:
+            registry.register_payload(f"m{p.seed}", mnist_100_100, p)
+        assert registry.pinned_bytes == sum(p.nbytes for p in payloads)
+        assert registry.resident_bytes == 0
+
+    def test_mixed_packed_dense_eviction_order(self):
+        """LRU recency — not entry size — picks the victim: a hot, cheap
+        packed entry survives while the cold dense plane is evicted."""
+        pytest.importorskip("scipy")
+        plane = self._plane_bytes()
+        dense_payloads = [_payload(s) for s in (1, 2)]
+        packed_payload = _payload(3, k=2_000, zero_untracked=True)
+        pinned = sum(p.nbytes for p in dense_payloads) + packed_payload.nbytes
+        registry = ModelRegistry(byte_budget=plane + plane // 2 + pinned)
+        d1 = registry.register_payload("dense1", mnist_100_100, dense_payloads[0])
+        d2 = registry.register_payload("dense2", mnist_100_100, dense_payloads[1])
+        p3 = registry.register_payload("packed3", mnist_100_100, packed_payload, packed=True)
+        registry.acquire(d1)
+        registry.acquire(p3)  # cheap packed servable, now hotter than d1
+        registry.acquire(d2)  # second dense plane pushes over budget
+        assert registry.resident_digests() == [p3, d2]
+        assert registry.stats.evictions == 1
 
 
 class TestDynamicBatcher:
