@@ -1,0 +1,381 @@
+"""Interprocedural concurrency rules RPA010-RPA013 (pass 2).
+
+These rules run over the pass-1 :class:`~repro.analyze.callgraph.PackageIndex`
+rather than a single file, because the bugs they catch only exist *between*
+functions: a lock-order inversion across ``serve/`` and ``parallel/``
+modules, an arena write whose barrier fence lives in the caller, an RNG
+draw several calls below a fork, a registry mutation whose lock is taken
+two frames up.  Each has a runtime mirror in
+:mod:`repro.analyze.sanitize` (lock-order watchdog, arena write-fence)
+for what static analysis cannot see.
+
+=======  ==============================================================
+RPA010   lock-order cycles over the global acquisition-order graph
+RPA011   SharedArena data-region writes not fenced by a step barrier
+RPA012   RNG draws reachable from a fork/worker spawn without reseeding
+RPA013   lock-owning class state mutated without its lock held
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+from repro.analyze.engine import ProjectRule, register_rule
+from repro.analyze.facts import ARENA_DATA_REGIONS, FunctionFacts
+
+__all__ = [
+    "LockOrderCycleRule",
+    "BarrierPhaseWriteRule",
+    "ForkTaintedRngRule",
+    "UnguardedSharedMutationRule",
+]
+
+#: Directories whose code participates in the concurrency analysis.
+CONCURRENT_DIRS = ("serve/", "parallel/")
+
+#: Kernel-dispatch registry mutators (process-global state; RPA013).
+_KERNEL_MUTATORS = frozenset({"set_backend", "set_op_backend", "use_backend"})
+
+
+def _in_dirs(relpath: str, dirs=CONCURRENT_DIRS) -> bool:
+    return any(d in relpath for d in dirs)
+
+
+@register_rule
+class LockOrderCycleRule(ProjectRule):
+    """RPA010: cycle in the global lock-acquisition-order graph.
+
+    Every ``with lock_b:`` while ``lock_a`` is held — directly, or through
+    a callee that acquires somewhere below it — adds the edge
+    ``lock_a -> lock_b``.  Any cycle in the aggregated graph over
+    ``serve/`` + ``parallel/`` means two code paths can acquire the same
+    pair of locks in opposite orders: a potential deadlock no single file
+    shows.  Locks are identified by class attribute (``Cls.attr``) or
+    module-level name, the standard lockset abstraction.
+    """
+
+    code = "RPA010"
+    summary = "lock-acquisition-order cycle across serve/parallel (deadlock risk)"
+    rationale = (
+        "Two threads taking the same pair of locks in opposite orders can "
+        "deadlock; the order graph must stay acyclic package-wide."
+    )
+
+    def check(self) -> None:
+        # edge (a, b) -> first witness (relpath, lineno, scope, description)
+        edges: dict[tuple[str, str], tuple[str, int, str, str]] = {}
+        norm = self.index.normalize_lock
+        for facts in self.index.functions.values():
+            if not _in_dirs(facts.relpath):
+                continue
+            for acq in facts.acquires:
+                lock = norm(acq.lock)
+                for held in acq.held:
+                    self._add_edge(
+                        edges, norm(held), lock, facts, acq.lineno,
+                        f"acquires {lock} while holding {norm(held)}",
+                    )
+            for callee, lineno, held in self.index.call_edges(facts.qualname):
+                if not held:
+                    continue
+                for lock in self.index.locks_below(callee):
+                    for h in held:
+                        self._add_edge(
+                            edges, norm(h), lock, facts, lineno,
+                            f"calls {callee.split(':')[-1]} (which may acquire "
+                            f"{lock}) while holding {norm(h)}",
+                        )
+
+        graph: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        for scc in _strongly_connected(graph):
+            in_cycle = set(scc)
+            if len(scc) < 2 and not (
+                len(scc) == 1 and scc[0] in graph.get(scc[0], ())
+            ):
+                continue
+            witnesses = sorted(
+                (site, (a, b))
+                for (a, b), site in edges.items()
+                if a in in_cycle and b in in_cycle
+            )
+            (relpath, lineno, scope, desc), _edge = witnesses[0]
+            others = "; ".join(
+                f"{a} -> {b} at {s[0]}:{s[1]}" for s, (a, b) in witnesses[1:3]
+            )
+            self.report(
+                relpath, lineno, 0,
+                f"lock-order cycle through {{{', '.join(sorted(in_cycle))}}}: "
+                f"{desc}" + (f" (opposing: {others})" if others else ""),
+                scope,
+            )
+
+    @staticmethod
+    def _add_edge(edges, a: str, b: str, facts: FunctionFacts, lineno: int, desc: str):
+        if a == b:
+            return
+        edges.setdefault((a, b), (facts.relpath, lineno, facts.scope, desc))
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's SCC over a small adjacency dict (deterministic order)."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strong(v: str) -> None:
+        index_of[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index_of:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index_of[w])
+        if low[v] == index_of[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            sccs.append(sorted(comp))
+
+    for v in sorted(graph):
+        if v not in index_of:
+            strong(v)
+    return sccs
+
+
+@register_rule
+class BarrierPhaseWriteRule(ProjectRule):
+    """RPA011: SharedArena data-region write not fenced by a barrier.
+
+    In the lockstep protocol every write to ``plane``/``grads``/``losses``
+    must be followed by a barrier before the step phase ends — otherwise a
+    peer rank can read a half-written region.  A write is *fenced* if a
+    barrier point (a direct ``barrier.wait`` or a call into a function
+    that transitively awaits one) follows it in the same function, or if
+    every reachable call site of the writing function is itself fenced in
+    its caller.  ``timers``/``control`` are monitoring-only and exempt.
+    """
+
+    code = "RPA011"
+    summary = "SharedArena data write not provably fenced by a step barrier"
+    rationale = (
+        "An unfenced write races the peer ranks' reads of the same region "
+        "and silently breaks the bit-determinism contract."
+    )
+
+    def check(self) -> None:
+        roots = [
+            q for q, f in self.index.functions.items()
+            if "parallel/" in f.relpath and f.relpath.endswith("trainer.py")
+        ]
+        reach = self.index.reachable(roots)
+        for q in sorted(reach):
+            facts = self.index.functions[q]
+            for w in facts.arena_writes:
+                if w.region not in ARENA_DATA_REGIONS:
+                    continue
+                if not self._fenced(q, w.lineno, reach, frozenset()):
+                    self.report(
+                        facts.relpath, w.lineno, 0,
+                        f"write to SharedArena.{w.region} is not followed by a "
+                        "barrier before the step phase ends (directly or in "
+                        "any caller) — peer ranks may read a torn region",
+                        facts.scope,
+                    )
+
+    def _barrier_points(self, q: str) -> list[int]:
+        facts = self.index.functions[q]
+        points = list(facts.barrier_waits)
+        for callee, lineno, _held in self.index.call_edges(q):
+            if self.index.awaits_barrier_below(callee):
+                points.append(lineno)
+        return points
+
+    def _fenced(self, q: str, lineno: int, reach: set[str], visiting: frozenset) -> bool:
+        if q in visiting:
+            return False
+        if any(pt > lineno for pt in self._barrier_points(q)):
+            return True
+        sites = self.index.callers_of(q, reach - {q})
+        if not sites:
+            return False
+        return all(
+            self._fenced(caller, site_line, reach, visiting | {q})
+            for caller, site_line in sites
+        )
+
+
+@register_rule
+class ForkTaintedRngRule(ProjectRule):
+    """RPA012: RNG draw reachable from a worker spawn without reseeding.
+
+    Forked workers inherit the parent's RNG state, so any draw on a
+    generator that was not freshly seeded on a ``(seed, epoch, ...)``-pure
+    key after the spawn point is nondeterministic across worker counts —
+    exactly the bug the ``epoch_order``/``epoch_rng`` discipline exists to
+    prevent.  Flags, in spawn-reachable code: legacy ``np.random.*``
+    global-state calls, unseeded ``default_rng()``/``RandomState()``, and
+    draw methods on generators with no local seeded binding.
+    """
+
+    code = "RPA012"
+    summary = "np.random/Generator draw reachable from fork/spawn without reseed"
+    rationale = (
+        "Worker-inherited RNG state diverges across worker counts and "
+        "breaks the (seed, epoch)-pure reproducibility contract."
+    )
+
+    _MESSAGES = {
+        "global": "legacy np.random global-state call",
+        "unseeded": "unseeded generator construction",
+        "ambient": "draw on a generator not seeded in this function",
+    }
+
+    def check(self) -> None:
+        spawn_roots: set[str] = set()
+        fork_sites: list[tuple[str, int]] = []  # (qualname, fork lineno)
+        for q, facts in self.index.functions.items():
+            for spawn in facts.spawns:
+                if spawn.kind == "process" and spawn.target:
+                    spawn_roots.update(self.index.resolve_call(facts, spawn.target))
+                elif spawn.kind == "fork":
+                    fork_sites.append((q, spawn.lineno))
+
+        reach = self.index.reachable(sorted(spawn_roots))
+        reported: set[tuple[str, int]] = set()
+        for q in sorted(reach):
+            self._flag_draws(q, min_lineno=0, reported=reported)
+
+        for q, fork_line in fork_sites:
+            # Post-fork code in the forking function itself...
+            self._flag_draws(q, min_lineno=fork_line, reported=reported)
+            # ...and everything called after the fork point.
+            post_roots = [
+                callee
+                for callee, lineno, _held in self.index.call_edges(q)
+                if lineno > fork_line
+            ]
+            for pq in sorted(self.index.reachable(post_roots)):
+                self._flag_draws(pq, min_lineno=0, reported=reported)
+
+    def _flag_draws(self, q: str, min_lineno: int, reported: set) -> None:
+        facts = self.index.functions.get(q)
+        if facts is None:
+            return
+        for draw in facts.rng_draws:
+            if draw.lineno <= min_lineno and min_lineno:
+                continue
+            key = (facts.relpath, draw.lineno)
+            if key in reported:
+                continue
+            reported.add(key)
+            what = self._MESSAGES.get(draw.kind, draw.kind)
+            self.report(
+                facts.relpath, draw.lineno, 0,
+                f"{what} ({draw.name}) is reachable from a worker spawn "
+                "without passing through epoch_order/epoch_rng reseeding; "
+                "seed a fresh generator from pure (seed, epoch, step) keys",
+                facts.scope,
+            )
+
+
+@register_rule
+class UnguardedSharedMutationRule(ProjectRule):
+    """RPA013: lock-owning class state mutated without the owning lock.
+
+    For every class in ``serve/``/``parallel/`` that owns a lock, an
+    attribute is *guarded* if any non-``__init__`` mutation of it happens
+    with one of the class's locks held (directly, or provably on every
+    call path into the method — the lock-context propagation fixpoint).
+    A mutation of a guarded attribute at a site where no class lock is
+    held is a data race.  Attributes never mutated under the lock (e.g. a
+    worker-thread list managed only by the owner thread) stay unguarded
+    and are not flagged.  Also flags kernel-dispatch registry mutations
+    (process-global state) from serving code.
+    """
+
+    code = "RPA013"
+    summary = "guarded class state mutated without holding the owning lock"
+    rationale = (
+        "A mutation outside the lock that guards the same attribute "
+        "elsewhere races every locked reader/writer of that state."
+    )
+
+    def check(self) -> None:
+        norm = self.index.normalize_lock
+        # classes in scope with their normalized lock ids
+        class_locks: dict[str, set[str]] = {}
+        class_dirs: dict[str, str] = {}
+        for facts in self.index.functions.values():
+            if facts.cls is None or not _in_dirs(facts.relpath):
+                continue
+            for _mod, cf in self.index.class_facts(facts.cls):
+                if cf.lock_attrs:
+                    class_locks[facts.cls] = {
+                        f"{facts.cls}.{attr}" for attr in cf.lock_attrs
+                    }
+                    class_dirs[facts.cls] = facts.relpath
+        if class_locks:
+            propagated = self.index.propagated_held(class_locks)
+            self._check_guarded(class_locks, propagated, norm)
+        self._check_kernel_registry()
+
+    def _check_guarded(self, class_locks, propagated, norm) -> None:
+        # Gather every (class, attr) mutation with its effective lock context.
+        per_class: dict[str, list[tuple[FunctionFacts, object, frozenset]]] = {}
+        for q, facts in self.index.functions.items():
+            cls = facts.cls
+            if cls not in class_locks or facts.name == "__init__":
+                continue
+            locks = class_locks[cls]
+            entry_ctx = propagated.get(q, frozenset())
+            for m in facts.mutations:
+                effective = {norm(h) for h in m.held} | set(entry_ctx)
+                per_class.setdefault(cls, []).append(
+                    (facts, m, frozenset(effective & locks))
+                )
+        for cls, mutations in per_class.items():
+            guarded = {m.attr for _f, m, eff in mutations if eff}
+            for facts, m, eff in mutations:
+                if m.attr in guarded and not eff:
+                    self.report(
+                        facts.relpath, m.lineno, 0,
+                        f"{cls}.{m.attr} is mutated under "
+                        f"{sorted(class_locks[cls])} elsewhere but not here; "
+                        "hold the owning lock (or move the mutation out of "
+                        "the shared state)",
+                        facts.scope,
+                    )
+
+    def _check_kernel_registry(self) -> None:
+        for facts in self.index.functions.values():
+            if "serve/" not in facts.relpath:
+                continue
+            for call in facts.calls:
+                leaf = call.name.split(".")[-1]
+                if leaf not in _KERNEL_MUTATORS:
+                    continue
+                resolved = self.index.resolve_call(facts, call.name)
+                kernelish = "kernel" in call.name.lower() or any(
+                    ".kernels." in q for q in resolved
+                )
+                if kernelish:
+                    self.report(
+                        facts.relpath, call.lineno, 0,
+                        f"{leaf}() mutates the process-global kernel-dispatch "
+                        "registry from serving code; worker threads racing a "
+                        "backend switch dispatch inconsistently — pin the "
+                        "backend before starting the server",
+                        facts.scope,
+                    )

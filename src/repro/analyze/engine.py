@@ -11,16 +11,25 @@ time; the rules themselves live in :mod:`repro.analyze.rules`.
 Architecture
 ------------
 
-* :class:`Rule` — an ``ast.NodeVisitor`` with a registered ``code``
-  (``RPA###``), scope tracking, and suppression-aware reporting.
-* :class:`SourceFile` — one parsed file plus its ``# repro: noqa[...]``
-  suppression table.
-* :class:`LintEngine` — walks paths, runs every (selected) rule over
-  every file, returns :class:`Violation` records.
+The engine runs in two passes:
+
+* **Pass 1 (per-file)** — every selected :class:`Rule` (an
+  ``ast.NodeVisitor`` with a registered ``code``, scope tracking, and
+  suppression-aware reporting) walks each :class:`SourceFile`
+  independently.  While walking, the engine also collects each file's
+  facts (locks, barriers, arena writes, RNG draws, calls — see
+  :mod:`repro.analyze.facts`) into a whole-package
+  :class:`~repro.analyze.callgraph.PackageIndex`.
+* **Pass 2 (interprocedural)** — every selected :class:`ProjectRule`
+  queries the index (call graph, reachability, lock/barrier fixpoints)
+  and reports findings anywhere in the package.  The concurrency rules
+  RPA010-013 live in :mod:`repro.analyze.concurrency`.
 * Baseline — a committed JSON file of *accepted* violation fingerprints.
-  Fingerprints are ``code:path:scope`` (line-number free, so they survive
-  unrelated edits); the engine fails only on violations beyond the
-  baselined count for their fingerprint.
+  Fingerprints are ``code:scope:normalized-snippet`` (line-number and
+  path free, so they survive unrelated edits *and* file renames); the
+  engine fails only on violations beyond the baselined count for their
+  fingerprint.  :func:`explain_drift` pairs vanished and new
+  fingerprints when they do churn.
 
 Suppression syntax::
 
@@ -44,6 +53,7 @@ from typing import Iterable, Iterator
 __all__ = [
     "Violation",
     "Rule",
+    "ProjectRule",
     "SourceFile",
     "LintEngine",
     "RULE_REGISTRY",
@@ -51,21 +61,27 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "diff_baseline",
+    "explain_drift",
     "findings_to_dict",
+    "format_github",
     "BASELINE_SCHEMA_VERSION",
     "DEFAULT_BASELINE_NAME",
 ]
 
-BASELINE_SCHEMA_VERSION = 1
+# v2: fingerprints changed from `code:path:scope` to `code:scope:snippet`
+# (move-resilient).  Regenerate v1 baselines with `--update-baseline`.
+BASELINE_SCHEMA_VERSION = 2
 DEFAULT_BASELINE_NAME = "analyze_baseline.json"
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
 #: All registered rule classes keyed by code (populated via ``register_rule``).
-RULE_REGISTRY: dict[str, type["Rule"]] = {}
+#: Holds both per-file :class:`Rule` and interprocedural :class:`ProjectRule`
+#: subclasses; the engine dispatches on the base class.
+RULE_REGISTRY: dict[str, type] = {}
 
 
-def register_rule(cls: type["Rule"]) -> type["Rule"]:
+def register_rule(cls: type) -> type:
     """Class decorator adding a rule to :data:`RULE_REGISTRY` by code."""
     if not cls.code:
         raise ValueError(f"rule {cls.__name__} has no code")
@@ -85,12 +101,14 @@ class Violation:
     col: int
     message: str
     scope: str  # dotted enclosing def/class chain, or "<module>"
+    snippet: str = ""  # whitespace-normalized source line at `line`
 
     @property
     def fingerprint(self) -> str:
-        """Line-number-free identity used by the baseline (stable across
-        unrelated edits to the same file)."""
-        return f"{self.code}:{self.path}:{self.scope}"
+        """Line-number- and path-free identity used by the baseline:
+        ``code:scope:snippet``.  Stable across unrelated edits *and* file
+        renames; the path survives in the record as a drift tiebreaker."""
+        return f"{self.code}:{self.scope}:{self.snippet}"
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
@@ -103,8 +121,21 @@ class Violation:
             "col": self.col,
             "message": self.message,
             "scope": self.scope,
+            "snippet": self.snippet,
             "fingerprint": self.fingerprint,
         }
+
+
+def format_github(v: Violation) -> str:
+    """One GitHub Actions workflow-command annotation for a violation."""
+
+    def esc(s: str) -> str:
+        return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+    return (
+        f"::error file={esc(v.path)},line={v.line},col={v.col + 1},"
+        f"title={esc(v.code)}::{esc(v.message)}"
+    )
 
 
 class SourceFile:
@@ -115,11 +146,12 @@ class SourceFile:
         self.relpath = relpath
         self.text = text
         self.tree = ast.parse(text, filename=str(path))
+        self.lines = text.splitlines()
         # line -> set of suppressed codes; empty set means "all codes".
         # A noqa on a comment-only line applies to the next code line, so
         # justifications too long for an inline comment can sit above.
         self.suppressions: dict[int, set[str]] = {}
-        lines = text.splitlines()
+        lines = self.lines
         for lineno, line in enumerate(lines, start=1):
             m = _NOQA_RE.search(line)
             if not m:
@@ -137,19 +169,65 @@ class SourceFile:
                     if stripped and not stripped.startswith("#"):
                         target = nxt + 1
                         break
-            existing = self.suppressions.get(target)
-            if existing is None:
-                self.suppressions[target] = parsed
-            elif existing and parsed:
-                existing.update(parsed)
-            else:  # either side is "all codes"
-                self.suppressions[target] = set()
+            self._merge_suppression(target, parsed)
+        self._expand_statement_spans()
+
+    def _merge_suppression(self, line: int, codes: set[str]) -> None:
+        existing = self.suppressions.get(line)
+        if existing is None:
+            self.suppressions[line] = set(codes)
+        elif existing and codes:
+            existing.update(codes)
+        else:  # either side is "all codes"
+            self.suppressions[line] = set()
+
+    def _expand_statement_spans(self) -> None:
+        """Spread each suppression over every physical line of its statement.
+
+        A ``# repro: noqa[...]`` on *any* line of a multi-line statement
+        (the opening line, a wrapped argument, the closing paren) covers
+        the whole statement, so a rule reporting on a continuation line
+        cannot escape a suppression written on the first line — and vice
+        versa.  Compound statements (``with``/``for``/``def``...) only
+        spread over their header lines, never into their body.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            end = getattr(node, "end_lineno", None) or start
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                end = max(start, body[0].lineno - 1)
+            if end <= start:
+                continue
+            merged: set[str] | None = None
+            for ln in range(start, end + 1):
+                codes = self.suppressions.get(ln)
+                if codes is None:
+                    continue
+                if merged is None:
+                    merged = set(codes)
+                elif merged and codes:
+                    merged |= codes
+                else:
+                    merged = set()
+            if merged is None:
+                continue
+            for ln in range(start, end + 1):
+                self._merge_suppression(ln, merged)
 
     def is_suppressed(self, code: str, line: int) -> bool:
         codes = self.suppressions.get(line)
         if codes is None:
             return False
         return not codes or code in codes
+
+    def snippet(self, line: int) -> str:
+        """Whitespace-normalized source at ``line`` (fingerprint component)."""
+        if 1 <= line <= len(self.lines):
+            return " ".join(self.lines[line - 1].split())[:160]
+        return ""
 
 
 class Rule(ast.NodeVisitor):
@@ -210,11 +288,54 @@ class Rule(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0),
                 message=message,
                 scope=self.scope,
+                snippet=self.src.snippet(line),
             )
         )
 
     def run(self) -> list[Violation]:
         self.visit(self.src.tree)
+        return self.violations
+
+
+class ProjectRule:
+    """Base class for pass-2 interprocedural rules.
+
+    Instantiated once per lint run with the whole-package
+    :class:`~repro.analyze.callgraph.PackageIndex` (whose ``sources``
+    attribute maps relpath -> :class:`SourceFile` for suppression and
+    snippet lookups).  Subclasses override :meth:`check` and call
+    :meth:`report` with explicit locations.
+    """
+
+    code: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def __init__(self, index):
+        self.index = index
+        self.violations: list[Violation] = []
+
+    def report(self, relpath: str, line: int, col: int, message: str, scope: str) -> None:
+        src = getattr(self.index, "sources", {}).get(relpath)
+        if src is not None and src.is_suppressed(self.code, line):
+            return
+        self.violations.append(
+            Violation(
+                code=self.code,
+                path=relpath,
+                line=line,
+                col=col,
+                message=message,
+                scope=scope,
+                snippet=src.snippet(line) if src is not None else "",
+            )
+        )
+
+    def check(self) -> None:
+        raise NotImplementedError
+
+    def run(self) -> list[Violation]:
+        self.check()
         return self.violations
 
 
@@ -263,15 +384,27 @@ class LintEngine:
         Directory violation paths are reported relative to (default: the
         common parent inferred per-path; pass the repo root for stable
         baseline fingerprints).
+    index_cache:
+        Optional JSON path caching pass-1 facts keyed on per-file source
+        hashes (the CI analyze job persists it across runs).
     """
 
-    def __init__(self, select: Iterable[str] | None = None, root: Path | str | None = None):
+    def __init__(
+        self,
+        select: Iterable[str] | None = None,
+        root: Path | str | None = None,
+        index_cache: Path | str | None = None,
+    ):
         codes = list(select) if select is not None else sorted(RULE_REGISTRY)
         unknown = [c for c in codes if c not in RULE_REGISTRY]
         if unknown:
             raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
-        self.rule_classes = [RULE_REGISTRY[c] for c in codes]
+        classes = [RULE_REGISTRY[c] for c in codes]
+        self.rule_classes = [c for c in classes if not issubclass(c, ProjectRule)]
+        self.project_rule_classes = [c for c in classes if issubclass(c, ProjectRule)]
         self.root = Path(root).resolve() if root is not None else None
+        self.index_cache = index_cache
+        self.index = None  # the pass-1 PackageIndex of the last lint_paths run
         self.errors: list[str] = []
 
     def _relpath(self, path: Path) -> str:
@@ -292,23 +425,49 @@ class LintEngine:
             elif p.suffix == ".py":
                 yield p
 
-    def lint_file(self, path: Path | str) -> list[Violation]:
-        path = Path(path)
+    def _parse(self, path: Path) -> SourceFile | None:
         text = path.read_text()
         try:
-            src = SourceFile(path, self._relpath(path), text)
+            return SourceFile(path, self._relpath(path), text)
         except SyntaxError as exc:  # unparseable file is itself a finding
             self.errors.append(f"{self._relpath(path)}: syntax error: {exc}")
+            return None
+
+    def lint_file(self, path: Path | str) -> list[Violation]:
+        """Run the per-file rules over one file (pass 1 only)."""
+        src = self._parse(Path(path))
+        if src is None:
             return []
         out: list[Violation] = []
         for cls in self.rule_classes:
             out.extend(cls(src).run())
         return out
 
+    def build_index(self, sources: dict[str, SourceFile]):
+        """Build the pass-1 package index over already-parsed sources."""
+        from repro.analyze.callgraph import build_index  # late: keeps engine ast-only
+
+        index = build_index(
+            {rp: (src.tree, src.text) for rp, src in sources.items()},
+            cache_path=self.index_cache,
+        )
+        index.sources = sources
+        return index
+
     def lint_paths(self, paths: Iterable[Path | str]) -> list[Violation]:
         violations: list[Violation] = []
+        sources: dict[str, SourceFile] = {}
         for path in self.iter_python_files(paths):
-            violations.extend(self.lint_file(path))
+            src = self._parse(path)
+            if src is None:
+                continue
+            sources[src.relpath] = src
+            for cls in self.rule_classes:
+                violations.extend(cls(src).run())
+        if self.project_rule_classes or self.index_cache is not None:
+            self.index = self.build_index(sources)
+            for cls in self.project_rule_classes:
+                violations.extend(cls(self.index).run())
         violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
         return violations
 
@@ -386,6 +545,43 @@ def diff_baseline(
     return new, fixed
 
 
+def explain_drift(violations: list[Violation], baseline: Baseline) -> list[dict]:
+    """Pair vanished baseline fingerprints with new findings.
+
+    For every baseline entry that no longer occurs (at its recorded
+    count), look for a new finding that is plausibly the *same* issue
+    after an edit: same code and either the same scope (the reported line
+    changed) or the same snippet (the enclosing scope was renamed or the
+    code moved).  Each new finding is consumed by at most one vanished
+    entry; leftovers are reported as genuinely new/fixed.
+    """
+    new, fixed = diff_baseline(violations, baseline)
+    report: list[dict] = []
+    unmatched = list(new)
+    for fp in sorted(fixed):
+        code, scope, snippet = (fp.split(":", 2) + ["", ""])[:3]
+        best: Violation | None = None
+        reason = "fixed (no matching new finding)"
+        for v in unmatched:
+            if v.code != code:
+                continue
+            if v.scope == scope:
+                best, reason = v, "same scope, snippet changed (edited line)"
+                break
+            if best is None and v.snippet == snippet:
+                best, reason = v, f"same snippet, scope moved to {v.path}:{v.scope}"
+        entry: dict = {"vanished": fp, "count": fixed[fp], "reason": reason}
+        if best is not None:
+            entry["paired_with"] = best.to_dict()
+            unmatched.remove(best)
+        report.append(entry)
+    for v in unmatched:
+        report.append(
+            {"vanished": None, "reason": "genuinely new", "paired_with": v.to_dict()}
+        )
+    return report
+
+
 def findings_to_dict(
     violations: list[Violation],
     new: list[Violation],
@@ -394,9 +590,11 @@ def findings_to_dict(
     errors: list[str] | None = None,
 ) -> dict:
     """JSON-ready findings document (the CI artifact format)."""
-    from repro.analyze import rules as _rules  # late: registry must be populated
+    # late imports: the registry must be populated before we list it
+    from repro.analyze import concurrency as _concurrency
+    from repro.analyze import rules as _rules
 
-    del _rules
+    del _rules, _concurrency
     return {
         "schema_version": BASELINE_SCHEMA_VERSION,
         "tool": "repro.analyze",

@@ -1,11 +1,13 @@
-"""Repo-specific lint rules (RPA001-RPA009).
+"""Repo-specific per-file lint rules (RPA001-RPA009).
 
 Each rule encodes one invariant the flat-weight-plane / workspace-pool /
 deterministic-regeneration design depends on (RPA006 guards the serving
 layer's lock discipline, RPA007 the kernel-dispatch boundary, RPA008 the
-process/shared-memory boundary, RPA009 the sparse-format boundary).  See
-``docs/static-analysis.md`` for the full catalog with rationale and the
-suppression syntax.
+process/shared-memory boundary, RPA009 the sparse-format boundary).
+These rules see one file at a time; the interprocedural concurrency
+rules RPA010-RPA013 live in :mod:`repro.analyze.concurrency` and run
+over the pass-1 package index instead.  See ``docs/static-analysis.md``
+for the full catalog with rationale and the suppression syntax.
 """
 
 from __future__ import annotations

@@ -18,14 +18,28 @@ untouched in normal runs:
 * **NaN/inf gradient tripwire** — after every backward pass each
   parameter gradient is scanned; the first non-finite value aborts with
   the parameter's name instead of corrupting the tracked-set selection.
+* **Lock-order watchdog** — the runtime mirror of static rule RPA010.
+  :func:`tracked_lock` wraps the serving-layer locks so every acquisition
+  records a held->acquired edge in a global order graph; the first edge
+  that closes a cycle raises :class:`LockOrderError` at the acquisition
+  site instead of deadlocking some other night.
+* **Arena write-fence** — the runtime mirror of RPA011.
+  :class:`ArenaWriteFence` stamps a CRC of each rank's SharedArena data
+  region at the barrier transitions (``seal_compute``/``open_compute``)
+  and raises :class:`ArenaFenceError` if a region changed while the
+  protocol says it must be quiescent.
 
 Enable with ``REPRO_SANITIZE=1`` (any of ``1/true/on/yes``), the
-``--sanitize`` CLI flag, or ``Trainer(..., sanitize=True)``.
+``--sanitize`` CLI flag, or ``Trainer(..., sanitize=True)``.  Every hook
+is zero-cost when disabled: :func:`tracked_lock` returns the lock
+unchanged, and the fence is simply not constructed.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import zlib
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
@@ -44,11 +58,18 @@ __all__ = [
     "SanitizerError",
     "PlaneIntegrityError",
     "GradientTripwireError",
+    "LockOrderError",
+    "ArenaFenceError",
     "sanitize_enabled",
     "check_plane_integrity",
     "check_finite_gradients",
     "install_detach_guard",
     "uninstall_detach_guard",
+    "LockOrderWatchdog",
+    "TrackedLock",
+    "tracked_lock",
+    "lock_watchdog",
+    "ArenaWriteFence",
     "PlaneCheckCallback",
     "GradTripwireCallback",
     "WorkspacePoisonCallback",
@@ -68,6 +89,14 @@ class PlaneIntegrityError(SanitizerError):
 
 class GradientTripwireError(SanitizerError):
     """A non-finite value reached a parameter gradient."""
+
+
+class LockOrderError(SanitizerError):
+    """A lock acquisition closed a cycle in the acquisition-order graph."""
+
+
+class ArenaFenceError(SanitizerError):
+    """A SharedArena data region changed outside its barrier phase."""
 
 
 def sanitize_enabled(env: dict | None = None) -> bool:
@@ -163,6 +192,271 @@ def install_detach_guard() -> None:
 def uninstall_detach_guard() -> None:
     """Restore the silent detach-and-rebind fallback."""
     nn_module.set_plane_detach_hook(None)
+
+
+# ---------------------------------------------------------------------- #
+# lock-order watchdog (runtime mirror of RPA010)
+# ---------------------------------------------------------------------- #
+
+
+class LockOrderWatchdog:
+    """Global lock-acquisition-order graph with cycle detection.
+
+    Each thread keeps the stack of tracked locks it currently holds.  When
+    a thread acquires lock ``b`` while holding ``a``, the edge ``a -> b``
+    is recorded; before recording, a path ``b -> ... -> a`` in the
+    existing graph means some other code path acquires the pair in the
+    opposite order, and :class:`LockOrderError` is raised at this
+    acquisition instead of letting the inversion deadlock later.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._witness: dict[tuple[str, str], str] = {}
+        self._local = threading.local()
+
+    def _held(self) -> list[str]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = []
+        return held
+
+    def edges(self) -> dict[str, set[str]]:
+        """Snapshot of the recorded acquisition-order edges (for tests)."""
+        with self._mutex:
+            return {a: set(bs) for a, bs in self._edges.items()}
+
+    def reset(self) -> None:
+        """Forget all recorded edges (held stacks are per-thread state)."""
+        with self._mutex:
+            self._edges.clear()
+            self._witness.clear()
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        # DFS under self._mutex; graphs are a handful of named locks.
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def on_acquire(self, name: str) -> None:
+        held = self._held()
+        if held:
+            prev = held[-1]
+            if prev != name:
+                with self._mutex:
+                    if name not in self._edges.get(prev, ()):
+                        cycle = self._path(name, prev)
+                        if cycle is not None:
+                            first = self._witness.get(
+                                (cycle[0], cycle[1]) if len(cycle) > 1 else (name, prev),
+                                "?",
+                            )
+                            raise LockOrderError(
+                                f"lock-order cycle: acquiring {name!r} while "
+                                f"holding {prev!r}, but the opposite order "
+                                f"{' -> '.join(cycle)} was already observed "
+                                f"(first at {first}); a concurrent thread "
+                                "taking that path can deadlock against this one"
+                            )
+                        self._edges.setdefault(prev, set()).add(name)
+                        self._witness[(prev, name)] = threading.current_thread().name
+        held.append(name)
+
+    def on_release(self, name: str) -> None:
+        held = self._held()
+        if name in held:
+            held.reverse()
+            held.remove(name)
+            held.reverse()
+
+
+_WATCHDOG = LockOrderWatchdog()
+
+
+def lock_watchdog() -> LockOrderWatchdog:
+    """The process-global watchdog used by :func:`tracked_lock`."""
+    return _WATCHDOG
+
+
+class TrackedLock:
+    """Wrap a lock so the watchdog sees first-entry acquire/release.
+
+    Reentrant acquisitions (RLock) only notify the watchdog on the 0->1
+    depth transition, so holding a lock twice never fakes a self-edge.
+    The ``_release_save``/``_acquire_restore``/``_is_owned`` trio is
+    forwarded so a wrapped RLock still works as the lock behind a
+    :class:`threading.Condition` (``wait`` fully releases and reacquires).
+    """
+
+    def __init__(self, lock, name: str, watchdog: LockOrderWatchdog | None = None):
+        self._lock = lock
+        self.name = name
+        self._watchdog = watchdog if watchdog is not None else _WATCHDOG
+        self._depth = threading.local()
+
+    def _get_depth(self) -> int:
+        return getattr(self._depth, "value", 0)
+
+    def _set_depth(self, value: int) -> None:
+        self._depth.value = value
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            depth = self._get_depth()
+            if depth == 0:
+                try:
+                    self._watchdog.on_acquire(self.name)
+                except BaseException:
+                    self._lock.release()
+                    raise
+            self._set_depth(depth + 1)
+        return got
+
+    def release(self) -> None:
+        depth = self._get_depth()
+        if depth == 1:
+            self._watchdog.on_release(self.name)
+        self._set_depth(max(depth - 1, 0))
+        self._lock.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner = getattr(self._lock, "locked", None)
+        if inner is not None:
+            return inner()
+        return self._is_owned()
+
+    # -- Condition protocol: full release around wait() ------------------ #
+
+    def _release_save(self):
+        depth = self._get_depth()
+        if depth > 0:
+            self._watchdog.on_release(self.name)
+        self._set_depth(0)
+        inner = getattr(self._lock, "_release_save", None)
+        if inner is not None:
+            state = inner()
+        else:
+            self._lock.release()
+            state = None
+        return (state, depth)
+
+    def _acquire_restore(self, saved) -> None:
+        state, depth = saved
+        inner = getattr(self._lock, "_acquire_restore", None)
+        if inner is not None:
+            inner(state)
+        else:
+            self._lock.acquire()
+        if depth > 0:
+            self._watchdog.on_acquire(self.name)
+        self._set_depth(depth)
+
+    def _is_owned(self) -> bool:
+        inner = getattr(self._lock, "_is_owned", None)
+        if inner is not None:
+            return inner()
+        return self._get_depth() > 0
+
+
+def tracked_lock(lock, name: str, enabled: bool | None = None):
+    """Wrap ``lock`` for the watchdog, or return it unchanged.
+
+    When sanitizer mode is off (the default), this is the identity
+    function — zero overhead, same object.  Already-tracked locks are
+    returned as-is so double wrapping cannot double-count.
+    """
+    if enabled is None:
+        enabled = sanitize_enabled()
+    if not enabled or isinstance(lock, TrackedLock):
+        return lock
+    return TrackedLock(lock, name)
+
+
+# ---------------------------------------------------------------------- #
+# arena write-fence (runtime mirror of RPA011)
+# ---------------------------------------------------------------------- #
+
+
+class ArenaWriteFence:
+    """Per-rank CRC stamps over SharedArena data regions.
+
+    The lockstep protocol gives each step two phases: *compute* (each rank
+    writes only its own ``grads[rank]`` row and ``losses[rank]`` slot; the
+    plane is read-only) and *update* (rank 0 writes the plane; the partial
+    regions are read-only).  At each transition the trainer calls
+
+    * :meth:`seal_compute` — end of compute: verify the plane did not
+      change since the last update phase, then stamp this rank's partials;
+    * :meth:`open_compute` — after the update barrier: verify the partials
+      did not change during the update phase, then stamp the plane.
+
+    A mismatched CRC means some code wrote a region outside its phase —
+    exactly the race static rule RPA011 looks for — and raises
+    :class:`ArenaFenceError` naming the region.
+    """
+
+    def __init__(self, arena, rank: int):
+        self.arena = arena
+        self.rank = int(rank)
+        self._stamps: dict[str, int] = {}
+
+    @staticmethod
+    def _crc(arr) -> int:
+        view = np.ascontiguousarray(arr)
+        return zlib.crc32(view.view(np.uint8).reshape(-1))
+
+    def _regions(self, phase: str) -> dict[str, "np.ndarray"]:
+        if phase == "partials":
+            return {
+                f"grads[{self.rank}]": self.arena.grads[self.rank],
+                f"losses[{self.rank}]": self.arena.losses[self.rank : self.rank + 1],
+            }
+        return {"plane": self.arena.plane}
+
+    def _verify(self, phase: str) -> None:
+        for name, arr in self._regions(phase).items():
+            stamped = self._stamps.get(name)
+            if stamped is None:
+                continue
+            now = self._crc(arr)
+            if now != stamped:
+                raise ArenaFenceError(
+                    f"SharedArena.{name} changed outside its barrier phase "
+                    f"(rank {self.rank}): CRC {now:#010x} != stamped "
+                    f"{stamped:#010x}; a write raced the "
+                    f"{'update' if phase == 'partials' else 'compute'} phase"
+                )
+
+    def _stamp(self, phase: str) -> None:
+        for name, arr in self._regions(phase).items():
+            self._stamps[name] = self._crc(arr)
+
+    def seal_compute(self) -> None:
+        """End of compute phase: plane must be unchanged; stamp partials."""
+        self._verify("plane")
+        self._stamp("partials")
+
+    def open_compute(self) -> None:
+        """After the update barrier: partials unchanged; stamp the plane."""
+        self._verify("partials")
+        self._stamp("plane")
 
 
 # ---------------------------------------------------------------------- #

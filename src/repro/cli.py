@@ -14,7 +14,8 @@ Commands
     sorted hot-spot table (optionally writing the perf JSON).
 ``analyze``
     AST lint pass enforcing the plane/pool/determinism invariants
-    (rules RPA001-007), diffed against a committed baseline.
+    (per-file rules RPA001-009 plus the interprocedural concurrency
+    rules RPA010-013), diffed against a committed baseline.
 ``kernels``
     Inspect the kernel-dispatch registry (backends per op, active
     selection) and micro-bench every backend into a perf report — the
@@ -215,9 +216,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 0
 
     select = [c.strip().upper() for c in args.select.split(",")] if args.select else None
-    engine = analyze.LintEngine(select=select, root=Path.cwd())
+    if args.concurrency:
+        if select:
+            print("error: --concurrency and --select are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        select = ["RPA010", "RPA011", "RPA012", "RPA013"]
+    engine = analyze.LintEngine(
+        select=select, root=Path.cwd(), index_cache=args.index_cache
+    )
     paths = args.paths or ["src"]
     violations = engine.lint_paths(paths)
+
+    if args.graph:
+        index = engine.index
+        if index is None:  # only per-file rules selected: build pass 1 now
+            sources = {}
+            for path in engine.iter_python_files(paths):
+                src = engine._parse(path)
+                if src is not None:
+                    sources[src.relpath] = src
+            index = engine.build_index(sources)
+        Path(args.graph).write_text(
+            json.dumps(index.to_graph_dict(), indent=2) + "\n"
+        )
+        print(f"call/lock graph written to {args.graph}")
 
     baseline = None
     baseline_path = Path(args.baseline)
@@ -225,7 +248,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         analyze.write_baseline(violations, baseline_path)
         print(f"baseline updated: {baseline_path} ({len(violations)} accepted violation(s))")
         return 0
-    if baseline_path.is_file():
+    if not args.no_baseline and baseline_path.is_file():
         baseline = analyze.load_baseline(baseline_path)
         new, fixed = analyze.diff_baseline(violations, baseline)
     else:
@@ -238,8 +261,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(findings, indent=2) + "\n")
         print(f"findings JSON written to {args.json}")
 
+    if args.explain_drift and baseline is not None:
+        drift = analyze.explain_drift(violations, baseline)
+        if drift:
+            print("baseline drift:")
+        for entry in drift:
+            paired = entry.get("paired_with")
+            where = (
+                f" -> {paired['path']}:{paired['line']} [{paired['fingerprint']}]"
+                if paired
+                else ""
+            )
+            vanished = entry["vanished"] or "(no vanished entry)"
+            print(f"  {vanished}: {entry['reason']}{where}")
+
     for v in new:
-        print(v.format())
+        print(analyze.format_github(v) if args.format == "github" else v.format())
     for err in engine.errors:
         print(f"error: {err}", file=sys.stderr)
     baselined = len(violations) - len(new)
@@ -426,6 +463,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write machine-readable findings JSON (the CI artifact)")
     p_analyze.add_argument("--select", default=None, metavar="CODES",
                            help="comma-separated rule codes to run (default: all)")
+    p_analyze.add_argument("--concurrency", action="store_true",
+                           help="run only the interprocedural concurrency rules "
+                                "RPA010-RPA013 (lock order, barrier fencing, "
+                                "fork-tainted RNG, unguarded shared mutation)")
+    p_analyze.add_argument("--format", choices=("text", "github"), default="text",
+                           help="'github' emits ::error workflow annotations for "
+                                "new findings (inline PR surfacing)")
+    p_analyze.add_argument("--graph", default=None, metavar="PATH",
+                           help="dump the pass-1 call/lock graph as JSON")
+    p_analyze.add_argument("--explain-drift", action="store_true",
+                           help="pair vanished baseline fingerprints with new "
+                                "findings (what moved vs. what is genuinely new)")
+    p_analyze.add_argument("--no-baseline", action="store_true",
+                           help="ignore any baseline file: every finding is new "
+                                "(used by the zero-debt concurrency CI gate)")
+    p_analyze.add_argument("--index-cache", default=None, metavar="PATH",
+                           help="JSON cache for the pass-1 package index, keyed "
+                                "on per-file source hashes (CI persists it)")
     p_analyze.add_argument("--list-rules", action="store_true",
                            help="print the rule catalog and exit")
     p_analyze.set_defaults(func=cmd_analyze)

@@ -23,6 +23,15 @@ name, which keeps :mod:`multiprocessing.resource_tracker` from double-
 registering the segment.  Rank 0 owns the lifecycle: :func:`adopt_plane`
 moves the model's weight plane into the arena before the fork and back onto
 a private heap buffer before :meth:`destroy` unmaps it.
+
+Write discipline: ``plane``, ``grads`` and ``losses`` are *data* regions
+with a barrier-phased ownership protocol — within a step, each rank writes
+only its own ``grads``/``losses`` slots during the compute phase, and only
+rank 0 writes ``plane`` during the update phase.  ``timers``/``control``
+are monitoring regions outside the protocol.  Static rule RPA011 checks
+that every data-region write is fenced by a barrier, and
+:class:`repro.analyze.sanitize.ArenaWriteFence` enforces the same phases
+at runtime under ``REPRO_SANITIZE=1``.
 """
 
 from __future__ import annotations

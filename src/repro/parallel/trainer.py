@@ -239,6 +239,19 @@ class ParallelTrainer(Trainer):
         tree_sum_range(q, leaf, out=arena.grads[rank])
         arena.losses[rank] = tree_sum_scalars(losses)
 
+    def _make_fence(self, arena: SharedArena, rank: int):
+        """The per-rank arena write-fence, or ``None`` outside sanitize mode.
+
+        The fence CRC-stamps this rank's SharedArena data regions at the
+        two barrier transitions of every step (runtime mirror of static
+        rule RPA011); see :class:`repro.analyze.sanitize.ArenaWriteFence`.
+        """
+        if not self.sanitize:
+            return None
+        from repro.analyze.sanitize import ArenaWriteFence
+
+        return ArenaWriteFence(arena, rank)
+
     def _sync(self, rank: int, arena: SharedArena) -> None:
         """Barrier with wait-time accounting and crash propagation."""
         t0 = time.perf_counter()
@@ -261,6 +274,7 @@ class ParallelTrainer(Trainer):
         self, rank, loader, epochs, steps, batch_size, m, q, ds, transform, aug_seed
     ):  # pragma: no cover - runs in a forked child
         arena = self._arena
+        fence = self._make_fence(arena, rank)
         rc = 0
         try:
             self.model.train()
@@ -274,8 +288,12 @@ class ParallelTrainer(Trainer):
                         t0 = time.perf_counter()
                         self._write_partial(rank, stream, q, arena)
                         arena.timers[rank, 0] += time.perf_counter() - t0
+                        if fence is not None:
+                            fence.seal_compute()
                         self._sync(rank, arena)  # grads ready
                         self._sync(rank, arena)  # weights + control updated
+                        if fence is not None:
+                            fence.open_compute()
                         if arena.flag(SharedArena.CTRL_STOP):
                             break
                 finally:
@@ -379,6 +397,7 @@ class ParallelTrainer(Trainer):
     ) -> None:
         epochs_since_best = 0
         scale = np.float32(n_micro)
+        fence = self._make_fence(arena, 0)
         for epoch in range(epochs):
             epoch_start = time.perf_counter()
             if self.schedule is not None:
@@ -398,6 +417,8 @@ class ParallelTrainer(Trainer):
                     with profiled("parallel.compute"):
                         self._write_partial(0, stream, q, arena)
                     arena.timers[0, 0] += time.perf_counter() - t0
+                    if fence is not None:
+                        fence.seal_compute()
                     self._sync(0, arena)  # all partials written
                     if arena.flag(SharedArena.CTRL_ABORT):
                         raise RuntimeError("a data-parallel worker failed")
@@ -426,6 +447,8 @@ class ParallelTrainer(Trainer):
                             cb.on_step_end(self, self.global_step, loss_val)
                         self.global_step += 1
                     self._sync(0, arena)  # release workers into the next step
+                    if fence is not None:
+                        fence.open_compute()
                     if arena.flag(SharedArena.CTRL_STOP):
                         break
             finally:

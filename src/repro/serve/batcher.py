@@ -34,6 +34,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analyze.sanitize import tracked_lock
+
 __all__ = ["DynamicBatcher", "BatchPolicy"]
 
 
@@ -90,7 +92,12 @@ class DynamicBatcher:
         self.policy = policy or BatchPolicy(max_batch_size, max_wait_ms)
         self._n_workers = workers
         self._forward = forward_fn
-        self._cond = threading.Condition()
+        # The condition's underlying RLock goes through the lock-order
+        # watchdog under REPRO_SANITIZE=1 (tracked_lock is the identity
+        # function otherwise).
+        self._cond = threading.Condition(
+            tracked_lock(threading.RLock(), "DynamicBatcher._cond")
+        )
         self._queues: dict[str, deque[_Request]] = {}
         self._threads: list[threading.Thread] = []
         self._running = False

@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analyze.sanitize import tracked_lock
 from repro.infer import RegeneratingInferenceEngine
 from repro.io import SparsePayload, read_sparse_payload
 from repro.nn import Module
@@ -120,7 +121,11 @@ class _Entry:
     packed: bool = False
     model: Module | None = None
     plane_bytes: int = 0
-    forward_lock: threading.Lock = field(default_factory=threading.Lock)
+    forward_lock: threading.Lock = field(
+        default_factory=lambda: tracked_lock(
+            threading.Lock(), "ModelHandle.forward_lock"
+        )
+    )
     materializations: int = 0
 
 
@@ -143,7 +148,10 @@ class ModelRegistry:
             raise ValueError("byte_budget must be positive (or None for unbounded)")
         self.byte_budget = byte_budget
         self.stats = RegistryStats()
-        self._lock = threading.RLock()
+        # tracked_lock is the identity function unless REPRO_SANITIZE=1,
+        # in which case the lock-order watchdog (RPA010's runtime mirror)
+        # observes every acquisition.
+        self._lock = tracked_lock(threading.RLock(), "ModelRegistry._lock")
         # Insertion order == recency order (oldest first); only entries
         # with a resident plane participate in eviction.
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()

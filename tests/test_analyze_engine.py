@@ -12,7 +12,9 @@ from repro.analyze import (
     Baseline,
     LintEngine,
     diff_baseline,
+    explain_drift,
     findings_to_dict,
+    format_github,
     load_baseline,
     write_baseline,
 )
@@ -24,8 +26,13 @@ def make_source(text: str, relpath: str = "src/repro/x.py") -> SourceFile:
     return SourceFile(Path(relpath), relpath, textwrap.dedent(text))
 
 
-def make_violation(code="RPA001", path="src/repro/x.py", line=1, scope="f") -> Violation:
-    return Violation(code=code, path=path, line=line, col=0, message="m", scope=scope)
+def make_violation(
+    code="RPA001", path="src/repro/x.py", line=1, scope="f", snippet="p.data = 1"
+) -> Violation:
+    return Violation(
+        code=code, path=path, line=line, col=0, message="m", scope=scope,
+        snippet=snippet,
+    )
 
 
 class TestNoqaParsing:
@@ -66,6 +73,44 @@ class TestNoqaParsing:
         # codes are upper-cased during parsing
         assert src.is_suppressed("RPA002", 1)
 
+    def test_noqa_covers_continuation_lines_of_statement(self):
+        src = make_source(
+            """
+            xg = np.empty(  # repro: noqa[RPA002] output buffer
+                (n, c, h, w),
+                dtype=np.float32,
+            )
+            """
+        )
+        # statement spans lines 2-5; a rule reporting on any of them is
+        # suppressed even though the marker sits on line 2
+        for line in (2, 3, 4, 5):
+            assert src.is_suppressed("RPA002", line), line
+        assert not src.is_suppressed("RPA001", 3)
+
+    def test_noqa_on_closing_line_covers_opening_line(self):
+        src = make_source(
+            """
+            xg = np.empty(
+                (4, 4),
+            )  # repro: noqa[RPA002]
+            """
+        )
+        assert src.is_suppressed("RPA002", 2)
+        assert src.is_suppressed("RPA002", 3)
+
+    def test_compound_statement_noqa_stops_at_body(self):
+        src = make_source(
+            """
+            with registry.lock(  # repro: noqa[RPA006]
+            ) as h:
+                x = np.empty(4)
+            """
+        )
+        assert src.is_suppressed("RPA006", 2)
+        assert src.is_suppressed("RPA006", 3)  # still the `with` header
+        assert not src.is_suppressed("RPA006", 4)  # body is not covered
+
 
 class TestEngine:
     def test_unknown_rule_code_rejected(self):
@@ -104,8 +149,8 @@ class TestBaselineWorkflow:
         path = write_baseline(vs, tmp_path / "b.json")
         baseline = load_baseline(path)
         assert baseline.total == 3
-        assert baseline.entries["RPA001:src/repro/x.py:f"] == 2
-        assert baseline.entries["RPA001:src/repro/x.py:g"] == 1
+        assert baseline.entries["RPA001:f:p.data = 1"] == 2
+        assert baseline.entries["RPA001:g:p.data = 1"] == 1
 
     def test_schema_version_checked(self, tmp_path):
         path = tmp_path / "b.json"
@@ -115,28 +160,95 @@ class TestBaselineWorkflow:
 
     def test_diff_accepts_baselined_occurrences(self):
         vs = [make_violation(), make_violation()]
-        baseline = Baseline(entries={"RPA001:src/repro/x.py:f": 2})
+        baseline = Baseline(entries={"RPA001:f:p.data = 1": 2})
         new, fixed = diff_baseline(vs, baseline)
         assert new == [] and not fixed
 
     def test_diff_flags_excess_occurrences(self):
         vs = [make_violation(line=i) for i in (1, 2, 3)]
-        baseline = Baseline(entries={"RPA001:src/repro/x.py:f": 2})
+        baseline = Baseline(entries={"RPA001:f:p.data = 1": 2})
         new, _ = diff_baseline(vs, baseline)
         assert len(new) == 1  # one beyond budget
 
     def test_diff_reports_fixed_entries(self):
         baseline = Baseline(
-            entries={"RPA001:src/repro/x.py:f": 2, "RPA004:src/repro/y.py:g": 1}
+            entries={"RPA001:f:p.data = 1": 2, "RPA004:g:q = 0.5": 1}
         )
         new, fixed = diff_baseline([make_violation()], baseline)
         assert new == []
-        assert fixed == {"RPA001:src/repro/x.py:f": 1, "RPA004:src/repro/y.py:g": 1}
+        assert fixed == {"RPA001:f:p.data = 1": 1, "RPA004:g:q = 0.5": 1}
 
     def test_fingerprint_is_line_free(self):
         a = make_violation(line=10)
         b = make_violation(line=99)
         assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_is_path_free(self):
+        """Renaming a file does not churn the baseline (move resilience)."""
+        a = make_violation(path="src/repro/x.py")
+        b = make_violation(path="src/repro/renamed.py")
+        assert a.fingerprint == b.fingerprint
+
+    def test_file_rename_keeps_baseline_clean(self, tmp_path):
+        pkg = tmp_path / "src"
+        pkg.mkdir()
+        (pkg / "old.py").write_text("def f():\n    p.data = np.zeros(3)\n")
+        engine = LintEngine(select=["RPA001"], root=tmp_path)
+        baseline_path = write_baseline(engine.lint_paths([pkg]), tmp_path / "b.json")
+        (pkg / "old.py").rename(pkg / "new.py")
+        after = LintEngine(select=["RPA001"], root=tmp_path).lint_paths([pkg])
+        new, fixed = diff_baseline(after, load_baseline(baseline_path))
+        assert new == [] and not fixed
+
+
+class TestExplainDrift:
+    def test_edited_line_pairs_by_scope(self):
+        baseline = Baseline(entries={"RPA001:f:p.data = 1": 1})
+        moved = make_violation(snippet="p.data = 2")
+        report = explain_drift([moved], baseline)
+        assert len(report) == 1
+        assert report[0]["vanished"] == "RPA001:f:p.data = 1"
+        assert "edited line" in report[0]["reason"]
+        assert report[0]["paired_with"]["snippet"] == "p.data = 2"
+
+    def test_scope_move_pairs_by_snippet(self):
+        baseline = Baseline(entries={"RPA001:f:p.data = 1": 1})
+        moved = make_violation(scope="Klass.f")
+        report = explain_drift([moved], baseline)
+        assert "scope moved" in report[0]["reason"]
+
+    def test_fixed_entry_with_no_match(self):
+        baseline = Baseline(entries={"RPA001:f:p.data = 1": 1})
+        report = explain_drift([], baseline)
+        assert report[0]["reason"].startswith("fixed")
+        assert "paired_with" not in report[0]
+
+    def test_genuinely_new_finding_reported(self):
+        report = explain_drift([make_violation()], Baseline())
+        assert report == [
+            {
+                "vanished": None,
+                "reason": "genuinely new",
+                "paired_with": make_violation().to_dict(),
+            }
+        ]
+
+
+class TestGithubFormat:
+    def test_annotation_shape(self):
+        v = make_violation(line=7)
+        out = format_github(v)
+        assert out == "::error file=src/repro/x.py,line=7,col=1,title=RPA001::m"
+
+    def test_message_escaping(self):
+        v = make_violation()
+        v = Violation(
+            code=v.code, path=v.path, line=v.line, col=v.col,
+            message="bad\nthing: 100%", scope=v.scope, snippet=v.snippet,
+        )
+        out = format_github(v)
+        assert "\n" not in out
+        assert "%0A" in out and "%25" in out
 
 
 class TestFindingsDocument:
@@ -151,10 +263,11 @@ class TestFindingsDocument:
             "baseline_path": None,
             "errors": 1,
         }
-        assert doc["violations"][0]["fingerprint"] == "RPA001:src/repro/x.py:f"
+        assert doc["violations"][0]["fingerprint"] == "RPA001:f:p.data = 1"
         assert set(doc["rules"]) == {
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
-            "RPA007", "RPA008", "RPA009",
+            "RPA007", "RPA008", "RPA009", "RPA010", "RPA011", "RPA012",
+            "RPA013",
         }
 
 
@@ -203,8 +316,62 @@ class TestAnalyzeCLI:
     def test_list_rules(self, capsys):
         assert cli_main(["analyze", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RPA001", "RPA002", "RPA003", "RPA004", "RPA005"):
+        for code in ("RPA001", "RPA005", "RPA010", "RPA011", "RPA012", "RPA013"):
             assert code in out
+
+    def test_github_format_emits_annotations(self, tmp_path, monkeypatch, capsys):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/m.py,line=1," in out
+        assert "title=RPA001" in out
+
+    def test_no_baseline_ignores_baseline_file(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--update-baseline"]) == 0
+        assert cli_main(["analyze", "src"]) == 0
+        assert cli_main(["analyze", "src", "--no-baseline"]) == 1
+
+    def test_concurrency_flag_runs_clean_on_plain_tree(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--concurrency", "--no-baseline"]) == 0
+
+    def test_concurrency_conflicts_with_select(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(
+            ["analyze", "src", "--concurrency", "--select", "RPA001"]
+        ) == 2
+
+    def test_explain_drift_prints_pairs(self, tmp_path, monkeypatch, capsys):
+        pkg = self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["analyze", "src", "--update-baseline"]) == 0
+        (pkg / "m.py").write_text("p.data = np.zeros(4)\n")  # edited line
+        assert cli_main(["analyze", "src", "--explain-drift"]) == 1
+        out = capsys.readouterr().out
+        assert "baseline drift:" in out
+        assert "edited line" in out
+
+    def test_graph_dump_written(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        cli_main(["analyze", "src", "--graph", "graph.json"])
+        doc = json.loads((tmp_path / "graph.json").read_text())
+        assert "functions" in doc
+
+    def test_index_cache_roundtrip(self, tmp_path, monkeypatch):
+        self._tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        args = ["analyze", "src", "--no-baseline", "--index-cache", "idx.json"]
+        assert cli_main(args) == 1
+        cache = json.loads((tmp_path / "idx.json").read_text())
+        assert cache["files"]
+        # second run reuses the cache and reports identically
+        assert cli_main(args) == 1
 
 
 class TestRepoIsClean:

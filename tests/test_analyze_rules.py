@@ -38,10 +38,13 @@ def lint(rule_cls, source: str, relpath: str = "src/repro/example.py") -> list[V
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_thirteen_rules_registered(self):
+        import repro.analyze.concurrency  # noqa: F401 — registers RPA010-013
+
         assert set(RULE_REGISTRY) == {
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
             "RPA007", "RPA008", "RPA009",
+            "RPA010", "RPA011", "RPA012", "RPA013",
         }
 
     def test_rules_carry_summary_and_rationale(self):
@@ -69,7 +72,8 @@ class TestDataRebindRule:
         """
         (hit,) = lint(DataRebindRule, src)
         assert hit.scope == "Pruner.step"
-        assert hit.fingerprint == "RPA001:src/repro/example.py:Pruner.step"
+        # v2 fingerprints are path-free: code:scope:normalized snippet.
+        assert hit.fingerprint == "RPA001:Pruner.step:self.p.data = 0"
 
     def test_in_place_write_passes(self):
         assert lint(DataRebindRule, "p.data[...] = arr\np.data[mask] = 0.0\n") == []

@@ -144,13 +144,40 @@ class TestAnalyzeJobWiring:
         assert "--baseline analyze_baseline.json" in runs
         assert "--json analyze_findings.json" in runs
 
+    def test_lint_emits_github_annotations(self, workflow):
+        runs = " ".join(s.get("run", "") for s in workflow["jobs"]["analyze"]["steps"])
+        assert "--format github" in runs
+
+    def test_pass1_index_is_cached_on_source_hash(self, workflow):
+        job = workflow["jobs"]["analyze"]
+        caches = [s for s in job["steps"] if "actions/cache" in s.get("uses", "")]
+        # caches[0] is the pip cache every job carries; the index cache is
+        # the analyze job's own.
+        index = next(
+            c for c in caches
+            if ".repro-analyze-index.json" in c["with"]["path"]
+        )
+        assert "hashFiles('src/**/*.py')" in index["with"]["key"]
+        runs = " ".join(s.get("run", "") for s in job["steps"])
+        assert "--index-cache .repro-analyze-index.json" in runs
+
+    def test_concurrency_rules_gate_is_zero_debt(self, workflow):
+        # RPA010-013 run with no baseline: any finding fails the job.
+        runs = [s.get("run", "") for s in workflow["jobs"]["analyze"]["steps"]]
+        gate = next(r for r in runs if "--concurrency" in r)
+        assert "--no-baseline" in gate
+
     def test_committed_analyze_baseline_exists(self):
         import json
 
         path = REPO_ROOT / "analyze_baseline.json"
         assert path.is_file(), "committed analyze baseline missing"
         data = json.loads(path.read_text())
-        assert "entries" in data and data["schema_version"] == 1
+        assert "entries" in data and data["schema_version"] == 2
+        # v2 fingerprints are path-free: code:scope:snippet.
+        for fingerprint in data["entries"]:
+            code, scope, snippet = fingerprint.split(":", 2)
+            assert code.startswith("RPA") and scope and snippet
 
     def test_smoke_train_runs_under_sanitizers(self, workflow):
         job = workflow["jobs"]["analyze"]

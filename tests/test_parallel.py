@@ -207,7 +207,10 @@ class TestPrefetchLoader:
                 break
 
 
-def _fit(workers, opt="dropback", seed=3, freeze=None, prefetch=2, epochs=2):
+def _fit(
+    workers, opt="dropback", seed=3, freeze=None, prefetch=2, epochs=2,
+    sanitize=True,
+):
     """Train a tiny MLP; return (plane copy, history, trainer)."""
     ds = _toy_data(64, seed=0)
     model = mlp(4, (16,), 2).finalize(seed)
@@ -223,7 +226,7 @@ def _fit(workers, opt="dropback", seed=3, freeze=None, prefetch=2, epochs=2):
         microbatch=4,
         prefetch=prefetch,
         callbacks=callbacks,
-        sanitize=True,
+        sanitize=sanitize,
     )
     history = trainer.fit(
         DataLoader(ds, 16, seed=1, drop_last=True), ds, epochs=epochs
@@ -258,6 +261,16 @@ class TestParallelTrainerDeterminism:
         plane_1, _, _ = _fit(1, freeze=1, epochs=3)
         plane_2, _, _ = _fit(2, freeze=1, epochs=3)
         assert plane_1.tobytes() == plane_2.tobytes()
+
+    def test_sanitized_run_is_byte_identical_to_unsanitized(self):
+        # The watchdog and arena fence must be pure observers: arming them
+        # (REPRO_SANITIZE semantics) cannot perturb a single bit of the
+        # trained plane or the loss history.
+        plane_s, hist_s, _ = _fit(2, sanitize=True)
+        plane_u, hist_u, _ = _fit(2, sanitize=False)
+        assert plane_s.tobytes() == plane_u.tobytes()
+        assert hist_s.train_loss == hist_u.train_loss
+        assert hist_s.val_accuracy == hist_u.val_accuracy
 
     def test_prefetch_depth_does_not_change_results(self):
         plane_on, _, _ = _fit(2, prefetch=2)

@@ -8,18 +8,28 @@ tests *inject* those faults and assert the sanitizers trip.
 
 from __future__ import annotations
 
+import gc
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.analyze.sanitize import (
+    ArenaFenceError,
+    ArenaWriteFence,
     GradientTripwireError,
     GradTripwireCallback,
+    LockOrderError,
+    LockOrderWatchdog,
     PlaneIntegrityError,
+    TrackedLock,
     check_finite_gradients,
     check_plane_integrity,
     install_detach_guard,
     sanitize_enabled,
     sanitizer_callbacks,
+    tracked_lock,
     uninstall_detach_guard,
     verify_model,
 )
@@ -171,6 +181,255 @@ class TestWorkspacePoisoning:
         conv.clear_workspace_cache()
         buf = conv._acquire_workspace(self.SHAPE, np.float32)
         assert not np.isnan(buf).any()
+
+    def test_use_after_release_caught_through_pooled_conv_path(self):
+        """The fault travels the public kernel path: a conv forward pools
+        its workspaces, a stale holder scribbles on one after release, and
+        the *next* conv forward trips on acquire."""
+        from repro.tensor.kernels import fast
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        out, ctx = fast.conv2d_forward(x, w, None, 1, 1, 6, 6)
+        del out, ctx
+        gc.collect()
+        assert conv.poison_free_workspaces() >= 1
+        # Seeded fault: overwrite one element of every free poisoned buffer.
+        for pool in conv._WORKSPACE.values():
+            for buf in pool:
+                if np.isnan(buf).all():
+                    buf.reshape(-1)[0] = 1.0
+        with pytest.raises(conv.WorkspaceUseAfterReleaseError, match="after release"):
+            fast.conv2d_forward(x, w, None, 1, 1, 6, 6)
+
+
+class TestDetachGuardIdempotency:
+    def test_double_install_is_safe(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        install_detach_guard()
+        with pytest.raises(PlaneIntegrityError, match="detached"):
+            p.data = np.zeros((p.size + 1,), dtype=np.float32)
+
+    def test_double_uninstall_is_safe(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        uninstall_detach_guard()
+        uninstall_detach_guard()
+        p.data = np.zeros((p.size + 1,), dtype=np.float32)  # no raise
+        assert not p.plane_backed
+
+    def test_single_uninstall_after_double_install(self):
+        m = mlp(6, (8,), 3).finalize(1)
+        p = m.parameters()[0]
+        install_detach_guard()
+        install_detach_guard()
+        uninstall_detach_guard()
+        p.data = np.zeros((p.size + 1,), dtype=np.float32)  # no raise
+        assert not p.plane_backed
+
+
+class TestAdoptPlaneIntegrity:
+    """Re-homing the weight plane (the parallel trainer's pre-fork move)
+    must keep every sanitizer invariant on the *new* buffer."""
+
+    def test_integrity_holds_on_adopted_plane(self):
+        from repro.parallel.shm import adopt_plane
+
+        m = mlp(6, (8,), 3).finalize(1)
+        before = m.weight_plane.copy()
+        fresh = np.empty(m.num_parameters(), dtype=np.float32)
+        adopt_plane(m, fresh)
+        assert m.weight_plane is fresh
+        np.testing.assert_array_equal(fresh, before)  # values carried over
+        check_plane_integrity(m)
+
+    def test_round_trip_back_to_private_buffer(self):
+        from repro.parallel.shm import adopt_plane
+
+        m = mlp(6, (8,), 3).finalize(1)
+        original = m.weight_plane
+        shared = np.empty(m.num_parameters(), dtype=np.float32)
+        adopt_plane(m, shared)
+        adopt_plane(m, original)
+        assert m.weight_plane is original
+        check_plane_integrity(m)
+
+    def test_wrong_geometry_rejected_without_detaching(self):
+        from repro.parallel.shm import adopt_plane
+
+        m = mlp(6, (8,), 3).finalize(1)
+        with pytest.raises(ValueError, match="float32"):
+            adopt_plane(m, np.empty(m.num_parameters() + 1, dtype=np.float32))
+        check_plane_integrity(m)  # still on the old plane, still coherent
+
+
+class TestLockOrderWatchdog:
+    def _pair(self):
+        wd = LockOrderWatchdog()
+        a = TrackedLock(threading.Lock(), "A", watchdog=wd)
+        b = TrackedLock(threading.Lock(), "B", watchdog=wd)
+        return wd, a, b
+
+    def test_consistent_order_passes(self):
+        _, a, b = self._pair()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+
+    def test_inverted_order_raises(self):
+        _, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError, match="lock-order cycle"):
+                a.acquire()
+
+    def test_failed_acquire_releases_inner_lock(self):
+        _, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+        # the inversion attempt must not leave A held
+        assert a.acquire(blocking=False)
+        a.release()
+
+    def test_reentrant_acquire_records_no_self_edge(self):
+        wd = LockOrderWatchdog()
+        r = TrackedLock(threading.RLock(), "R", watchdog=wd)
+        with r:
+            with r:
+                pass
+        assert wd.edges() == {}
+
+    def test_three_lock_cycle_detected(self):
+        wd = LockOrderWatchdog()
+        a, b, c = (
+            TrackedLock(threading.Lock(), n, watchdog=wd) for n in "ABC"
+        )
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+
+    def test_reset_forgets_history(self):
+        wd, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        wd.reset()
+        with b:
+            with a:  # would raise without the reset
+                pass
+
+    def test_condition_wait_notify_through_tracked_rlock(self):
+        wd = LockOrderWatchdog()
+        cond = threading.Condition(
+            TrackedLock(threading.RLock(), "C", watchdog=wd)
+        )
+        hits = []
+
+        def waiter():
+            with cond:
+                while not hits:
+                    cond.wait(timeout=5.0)
+                hits.append("woke")
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        with cond:
+            hits.append("set")
+            cond.notify()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert hits == ["set", "woke"]
+
+
+class TestTrackedLockFactory:
+    def test_disabled_returns_same_object(self):
+        raw = threading.Lock()
+        assert tracked_lock(raw, "X", enabled=False) is raw
+
+    def test_enabled_wraps(self):
+        raw = threading.Lock()
+        wrapped = tracked_lock(raw, "X", enabled=True)
+        assert isinstance(wrapped, TrackedLock)
+        assert wrapped._lock is raw
+
+    def test_no_double_wrap(self):
+        wrapped = tracked_lock(threading.Lock(), "X", enabled=True)
+        assert tracked_lock(wrapped, "X", enabled=True) is wrapped
+
+    def test_env_default_is_identity_when_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        raw = threading.Lock()
+        assert tracked_lock(raw, "X") is raw
+
+
+class _FakeArena:
+    """plane/grads/losses shaped like SharedArena, on private memory."""
+
+    def __init__(self, plane_size=8, workers=2):
+        self.plane = np.zeros(plane_size, dtype=np.float32)
+        self.grads = np.zeros((workers, plane_size), dtype=np.float32)
+        self.losses = np.zeros(workers, dtype=np.float64)
+
+
+class TestArenaWriteFence:
+    def test_correct_phase_sequence_passes(self):
+        arena = _FakeArena()
+        fence = ArenaWriteFence(arena, rank=1)
+        for step in range(3):
+            arena.grads[1] = step  # compute phase: own partials
+            arena.losses[1] = step
+            fence.seal_compute()
+            arena.plane += 1.0  # update phase: plane
+            fence.open_compute()
+
+    def test_plane_write_during_compute_raises(self):
+        arena = _FakeArena()
+        fence = ArenaWriteFence(arena, rank=1)
+        fence.open_compute()  # stamp the plane entering compute
+        arena.plane[0] = 7.0  # seeded bug: out-of-phase plane write
+        with pytest.raises(ArenaFenceError, match="plane"):
+            fence.seal_compute()
+
+    def test_partial_write_during_update_raises(self):
+        arena = _FakeArena()
+        fence = ArenaWriteFence(arena, rank=1)
+        arena.grads[1] = 1.0
+        fence.seal_compute()
+        arena.grads[1, 0] = 9.0  # seeded bug: partial mutated mid-update
+        with pytest.raises(ArenaFenceError, match=r"grads\[1\]"):
+            fence.open_compute()
+
+    def test_other_ranks_partials_are_not_this_fences_business(self):
+        arena = _FakeArena()
+        fence = ArenaWriteFence(arena, rank=0)
+        arena.grads[0] = 1.0
+        fence.seal_compute()
+        arena.grads[1] = 5.0  # rank 1's row; rank 0's fence must not care
+        fence.open_compute()
+
+    def test_first_seal_has_no_plane_stamp(self):
+        arena = _FakeArena()
+        fence = ArenaWriteFence(arena, rank=0)
+        arena.plane[0] = 3.0  # pre-step init writes are fine
+        fence.seal_compute()
 
 
 class TestGradientTripwire:
